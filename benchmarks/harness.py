@@ -1,0 +1,122 @@
+"""Direct-drive protocol harness shared by the benchmarks.
+
+Runs signer/verifier/relay engines against each other in memory (no
+simulator), with a *separate hash-operation counter per role* so the
+Table 1 benchmarks measure each role's cryptographic work exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hashchain import (
+    ACKNOWLEDGMENT_TAGS,
+    ChainVerifier,
+    HashChain,
+)
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import decode_packet
+from repro.core.relay import RelayEngine
+from repro.core.signer import ChannelConfig, SignerSession
+from repro.core.verifier import VerifierSession
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import OpCounter, get_hash
+
+ASSOC = 0xBE7C
+
+
+@dataclass
+class Channel:
+    """One simplex channel with per-role counters and an on-path relay."""
+
+    signer: SignerSession
+    verifier: VerifierSession
+    relay: RelayEngine
+    signer_counter: OpCounter
+    verifier_counter: OpCounter
+    relay_counter: OpCounter
+    hash_size: int
+
+
+def build_channel(
+    mode: Mode = Mode.BASE,
+    reliability: ReliabilityMode = ReliabilityMode.UNRELIABLE,
+    batch_size: int = 1,
+    hash_name: str = "sha1",
+    chain_length: int = 4096,
+    seed: int | str = 0,
+) -> Channel:
+    rng = DRBG(seed, personalization=b"bench-harness")
+    signer_counter = OpCounter()
+    verifier_counter = OpCounter()
+    relay_counter = OpCounter()
+    signer_hash = get_hash(hash_name, signer_counter)
+    verifier_hash = get_hash(hash_name, verifier_counter)
+    relay_hash = get_hash(hash_name, relay_counter)
+    h = signer_hash.digest_size
+
+    sig_chain = HashChain(signer_hash, rng.random_bytes(h), chain_length)
+    ack_chain = HashChain(
+        verifier_hash, rng.random_bytes(h), chain_length, tags=ACKNOWLEDGMENT_TAGS
+    )
+    config = ChannelConfig(mode=mode, reliability=reliability, batch_size=batch_size)
+    signer = SignerSession(
+        signer_hash,
+        sig_chain,
+        ChainVerifier(signer_hash, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
+        config,
+        ASSOC,
+    )
+    verifier = VerifierSession(
+        verifier_hash,
+        ack_chain,
+        ChainVerifier(verifier_hash, sig_chain.anchor),
+        ASSOC,
+        rng.fork("verifier"),
+    )
+    relay = RelayEngine(relay_hash)
+    relay.provision(
+        assoc_id=ASSOC,
+        initiator="s",
+        responder="v",
+        initiator_sig_anchor=sig_chain.anchor,
+        initiator_ack_anchor=ack_chain.anchor,
+        responder_sig_anchor=sig_chain.anchor,
+        responder_ack_anchor=ack_chain.anchor,
+    )
+    return Channel(
+        signer=signer,
+        verifier=verifier,
+        relay=relay,
+        signer_counter=signer_counter,
+        verifier_counter=verifier_counter,
+        relay_counter=relay_counter,
+        hash_size=h,
+    )
+
+
+def run_exchange(channel: Channel, messages: list[bytes], now: float = 0.0) -> int:
+    """Push one batch through signer -> relay -> verifier (-> A2 back).
+
+    Returns the number of messages the verifier delivered.
+    """
+    for message in messages:
+        channel.signer.submit(message)
+    s1_raw = channel.signer.poll(now)[0]
+    assert channel.relay.handle(s1_raw, "s", "v", now).forward
+    a1_raw = channel.verifier.handle_s1(
+        decode_packet(s1_raw, channel.hash_size), now
+    )
+    assert channel.relay.handle(a1_raw, "v", "s", now).forward
+    s2_raws = channel.signer.handle_a1(
+        decode_packet(a1_raw, channel.hash_size), now
+    )
+    for raw in s2_raws:
+        assert channel.relay.handle(raw, "s", "v", now).forward
+        a2_raw = channel.verifier.handle_s2(
+            decode_packet(raw, channel.hash_size), now
+        )
+        if a2_raw is not None:
+            assert channel.relay.handle(a2_raw, "v", "s", now).forward
+            channel.signer.handle_a2(decode_packet(a2_raw, channel.hash_size), now)
+    return len(channel.verifier.drain_delivered())

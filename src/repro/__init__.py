@@ -1,0 +1,28 @@
+"""Reproduction of ALPHA (CoNEXT 2008): adaptive and lightweight
+hop-by-hop authentication built on interactive hash-chain signatures.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: role-bound hash chains, the S1/A1/S2(/A2)
+    interactive signature exchange, ALPHA-C cumulative mode, ALPHA-M
+    Merkle-tree mode, reliability, bootstrapping, and the closed-form
+    models behind the paper's tables and figures.
+``repro.crypto``
+    From-scratch cryptographic substrate: counting hashes, HMAC, AES-128,
+    the Matyas–Meyer–Oseas hash, RSA, DSA, and ECDSA.
+``repro.netsim``
+    Deterministic discrete-event simulator for multi-hop networks.
+``repro.devices``
+    CPU/energy cost profiles for the paper's hardware platforms.
+``repro.baselines``
+    Comparison protocols: TESLA, end-to-end HMAC, per-packet public-key
+    signatures, Guy-Fawkes-style signatures, LHAP-style hop tokens.
+``repro.attacks``
+    Adversary toolkit for the paper's threat model.
+``repro.apps``
+    HIP-like signaling, middleboxes, and streaming helpers built on the
+    public API.
+"""
+
+__version__ = "1.0.0"

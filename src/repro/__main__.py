@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Small operational surface for poking at the reproduction without
+writing code:
+
+- ``tables``   — regenerate the paper's analytic tables to stdout.
+- ``demo``     — run the quickstart scenario (protected 4-hop path).
+- ``wsn``      — print the Section 4.1.3 sensor-network estimates.
+- ``selftest`` — fast internal consistency check (crypto vectors, one
+  protocol round trip); exits non-zero on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables() -> int:
+    from repro.core import analysis
+    from repro.devices import get_profile
+
+    print("Equation 1 / Figure 5 — signed bytes per S1 (1280 B packets):")
+    for n in (1, 16, 256, 4096, 65536):
+        print(f"  n={n:>6}: {analysis.stotal(n, 1280):>12,} B "
+              f"(overhead ratio {analysis.overhead_ratio(n, 1280):.3f})")
+    print("\nTable 6 — ALPHA-M on the AR2315 mesh router:")
+    for row in analysis.table6_rows([get_profile('ar2315')]):
+        print(f"  leaves={row.leaves:>5}  payload={row.payload_bytes} B  "
+              f"throughput={row.throughput_bps['ar2315'] / 1e6:5.1f} Mbit/s")
+    plain = analysis.wsn_estimates(get_profile("cc2430"))
+    print(f"\nSection 4.1.3 — WSN (CC2430): {plain.signed_payload_bps / 1e3:.0f} kbit/s "
+          f"verifiable in {plain.packets_per_second:.0f} S2/s "
+          f"(paper: 244 kbit/s, 460 S2/s)")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.core.adapter import EndpointAdapter, RelayAdapter
+    from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+    from repro.core.modes import Mode, ReliabilityMode
+    from repro.netsim import Network
+
+    net = Network.chain(4)
+    config = EndpointConfig(
+        mode=Mode.CUMULATIVE, reliability=ReliabilityMode.RELIABLE, batch_size=4
+    )
+    s = EndpointAdapter(AlphaEndpoint("s", config, seed=1), net.nodes["s"])
+    v = EndpointAdapter(AlphaEndpoint("v", config, seed=2), net.nodes["v"])
+    relays = [RelayAdapter(net.nodes[f"r{i}"]) for i in (1, 2, 3)]
+    s.connect("v")
+    net.simulator.run(until=1.0)
+    print(f"handshake: established={s.established('v')}")
+    for i in range(4):
+        s.send("v", f"demo-{i}".encode())
+    net.simulator.run(until=10.0)
+    print(f"delivered: {[m.decode() for _, m in v.received]}")
+    for i, relay in enumerate(relays, 1):
+        stats = relay.engine.stats
+        print(f"relay r{i}: verified S2={stats.get('s2-ok', 0)} "
+              f"dropped={stats.get('dropped', 0)}")
+    return 0
+
+
+def _cmd_wsn() -> int:
+    from repro.core import analysis
+    from repro.devices import get_profile
+
+    cc = get_profile("cc2430")
+    for label, preacks in (("unreliable", False), ("with pre-acks", True)):
+        est = analysis.wsn_estimates(cc, with_preacks=preacks)
+        print(f"ALPHA-C {label:>14}: {est.signed_payload_bps / 1e3:6.1f} kbit/s, "
+              f"{est.packets_per_second:5.0f} S2/s, "
+              f"overhead {est.per_packet_overhead_bytes:.1f} B/pkt")
+    return 0
+
+
+def _cmd_selftest() -> int:
+    import hashlib
+
+    from repro.crypto.aes import AES128
+    from repro.crypto.sha1 import sha1_digest
+    from repro.transports import MemoryNetwork
+    from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+
+    failures = []
+    # FIPS-197 AES vector.
+    ct = AES128(bytes.fromhex("000102030405060708090a0b0c0d0e0f")).encrypt_block(
+        bytes.fromhex("00112233445566778899aabbccddeeff")
+    )
+    if ct.hex() != "69c4e0d86a7b0430d8cdb78070b4c55a":
+        failures.append("AES-128 vector mismatch")
+    # FIPS 180 SHA-1 vector + hashlib agreement.
+    if sha1_digest(b"abc").hex() != "a9993e364706816aba3e25717850c26c9cd0d89d":
+        failures.append("SHA-1 vector mismatch")
+    if sha1_digest(b"selftest") != hashlib.sha1(b"selftest").digest():
+        failures.append("SHA-1 differs from hashlib")
+    # One protocol round trip in memory.
+    net = MemoryNetwork()
+    net.add_endpoint(AlphaEndpoint("a", EndpointConfig(chain_length=64), seed=1))
+    net.add_endpoint(AlphaEndpoint("b", EndpointConfig(chain_length=64), seed=2))
+    net.connect("a", "b")
+    net.send("a", "b", b"selftest-payload")
+    if net.received_by("b") != [b"selftest-payload"]:
+        failures.append("protocol round trip failed")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("selftest: " + ("FAILED" if failures else "OK"))
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "demo": _cmd_demo,
+    "wsn": _cmd_wsn,
+    "selftest": _cmd_selftest,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ALPHA (CoNEXT 2008) reproduction utilities",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

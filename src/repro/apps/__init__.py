@@ -1,0 +1,21 @@
+"""Applications built on the ALPHA public API.
+
+- :mod:`repro.apps.signaling` — a HIP-like signaling layer (the paper
+  integrated ALPHA into the Host Identity Protocol, Section 4.1.1) plus
+  a middlebox that consumes relay-verified signaling: the "secure
+  middlebox signaling" use case of the abstract.
+- :mod:`repro.apps.streaming` — chunked bulk/stream transfer with the
+  adaptive mode policy (base → cumulative → Merkle as queues grow).
+"""
+
+from repro.apps.signaling import HipHost, Middlebox, SignalingMessage
+from repro.apps.streaming import AdaptivePolicy, StreamingSink, StreamingSource
+
+__all__ = [
+    "HipHost",
+    "Middlebox",
+    "SignalingMessage",
+    "AdaptivePolicy",
+    "StreamingSink",
+    "StreamingSource",
+]

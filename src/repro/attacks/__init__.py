@@ -1,0 +1,37 @@
+"""Adversary toolkit for the paper's threat model.
+
+The paper's introduction lists the attacks ALPHA is built against:
+"flooding and the interception, tampering with, and forging of packets".
+This package implements each as a reusable component that plugs into the
+simulator, so tests and benchmarks can assert *where* an attack is
+stopped (ideally: at the first honest relay):
+
+- :class:`~repro.attacks.adversary.Wiretap` — records transit packets.
+- :class:`~repro.attacks.adversary.PacketForger` — injects fabricated
+  ALPHA packets.
+- :class:`~repro.attacks.adversary.TamperingRelay` — an insider relay
+  that mutates S2 payloads in transit.
+- :class:`~repro.attacks.adversary.ReplayAttacker` — captures and
+  re-injects genuine packets.
+- :class:`~repro.attacks.adversary.S1Flooder` — floods path-reservation
+  packets (the one packet type relays forward unconditionally).
+- :mod:`repro.attacks.reformatting` — the hash-chain reformatting
+  attack of Section 3.2.1, plus the demonstration that role binding
+  defeats it.
+"""
+
+from repro.attacks.adversary import (
+    PacketForger,
+    ReplayAttacker,
+    S1Flooder,
+    TamperingRelay,
+    Wiretap,
+)
+
+__all__ = [
+    "PacketForger",
+    "ReplayAttacker",
+    "S1Flooder",
+    "TamperingRelay",
+    "Wiretap",
+]

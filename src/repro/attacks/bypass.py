@@ -1,0 +1,264 @@
+"""The bypass attack and its n-hop token countermeasure.
+
+Paper Section 3.1.1: "two colluding attackers can replay forged
+signatures to a victim relay after diverting genuine signature packets
+around the victim (bypass attack). [...] The solution for preventing
+this attack is to keep the set of relaying nodes static throughout the
+use of a hash chain", achievable with "interleaved hash-chain-based
+authorization tokens between n-hop neighbors" whose set "can be fixed
+in the handshake" (footnote 3).
+
+This module implements both sides:
+
+- :class:`BypassRerouter` — a pair of colluding on-path nodes that
+  divert an association's traffic around a victim relay (here: by
+  flipping the upstream accomplice's next-hop to a side link).
+- :class:`PathGuard` — the countermeasure. The relay set is fixed;
+  every guarded node appends a fresh element of its own one-way token
+  chain to each forwarded frame, and checks that the frame carries a
+  valid, fresh token from its ``hop_distance``-upstream path neighbour.
+  A frame that skipped that neighbour cannot carry such a token (the
+  chain is one-way and its elements are single-use), so the bypass is
+  detected at the first guarded node after the gap.
+
+Tokens ride in frame metadata (``frame.metadata["guard"]``) — the
+simulation-level stand-in for the small shim header a real deployment
+would use; DESIGN.md's substitution table applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import HashFunction
+from repro.netsim.node import Node
+from repro.netsim.packet import Frame
+
+#: Domain tag pair for guard token chains (no role alternation needed).
+GUARD_TAGS = (b"GT", b"GT")
+
+_GUARD_KEY = "guard"
+
+
+@dataclass
+class GuardStats:
+    tokens_appended: int = 0
+    frames_verified: int = 0
+    bypass_detected: int = 0
+    dropped: int = 0
+
+
+class PathGuard:
+    """N-hop interleaved authorization tokens on one fixed path.
+
+    Construct one guard per node via :func:`install_path_guards`, which
+    also distributes the token-chain anchors — modelling the paper's
+    "fixed in the handshake" relay-set agreement.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        hash_fn: HashFunction,
+        rng: DRBG,
+        path: list[str],
+        hop_distance: int = 2,
+        chain_length: int = 2048,
+        drop_on_detection: bool = True,
+    ) -> None:
+        if node.name not in path:
+            raise ValueError(f"{node.name} is not on the guarded path")
+        if hop_distance < 1:
+            raise ValueError("hop distance must be at least 1")
+        self.node = node
+        self.path = list(path)
+        self.position = path.index(node.name)
+        self.hop_distance = hop_distance
+        self.drop_on_detection = drop_on_detection
+        self.chain = HashChain(
+            hash_fn, rng.random_bytes(hash_fn.digest_size), chain_length, tags=GUARD_TAGS
+        )
+        self._hash = hash_fn
+        # name -> verifier for the upstream neighbour's token chain,
+        # populated by install_path_guards.
+        self.upstream_verifiers: dict[str, ChainVerifier] = {}
+        self.stats = GuardStats()
+        self._install()
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _install(self) -> None:
+        if self.position in (0, len(self.path) - 1):
+            # Endpoint: stamp what it originates, check what it accepts.
+            original_send = self.node.send
+            inner_handler = self.node.app_handler
+
+            def guarded_send(frame: Frame) -> None:
+                self._append_token(frame)
+                original_send(frame)
+
+            def guarded_handler(frame: Frame) -> None:
+                if not self._check(frame) and self.drop_on_detection:
+                    self.stats.dropped += 1
+                    return
+                if inner_handler is not None:
+                    inner_handler(frame)
+
+            self.node.send = guarded_send
+            self.node.app_handler = guarded_handler
+            return
+        # Relay: verify, then stamp, stacked outside any existing filter.
+        inner_filter = self.node.forward_filter
+
+        def guarded_filter(frame: Frame) -> bool:
+            if not self._check(frame):
+                if self.drop_on_detection:
+                    self.stats.dropped += 1
+                    return False
+            if inner_filter is not None and not inner_filter(frame):
+                return False
+            self._append_token(frame)
+            return True
+
+        self.node.forward_filter = guarded_filter
+
+    # -- mechanics ----------------------------------------------------------------
+
+    def _expected_upstream(self, frame: Frame) -> str | None:
+        """The path neighbour whose token this frame must carry.
+
+        Direction-aware: a frame heading towards the end of the path
+        must carry a token from ``hop_distance`` positions *before* this
+        node, a frame heading back from the verifier one from *after*.
+        Frames whose destination is off-path are not judged.
+        """
+        if frame.source in self.path and frame.source != self.node.name:
+            direction = 1 if self.path.index(frame.source) < self.position else -1
+        elif frame.destination in self.path and frame.destination != self.node.name:
+            direction = 1 if self.path.index(frame.destination) > self.position else -1
+        else:
+            return None
+        upstream_index = self.position - direction * self.hop_distance
+        if not 0 <= upstream_index < len(self.path):
+            return None
+        return self.path[upstream_index]
+
+    def _append_token(self, frame: Frame) -> None:
+        element, _ = self.chain.next_exchange()
+        tokens = frame.metadata.setdefault(_GUARD_KEY, [])
+        tokens.append((self.node.name, element.index, element.value))
+        # Tokens older than hop_distance hops are dead weight; trim.
+        del tokens[: max(0, len(tokens) - self.hop_distance)]
+        self.stats.tokens_appended += 1
+
+    def _check(self, frame: Frame) -> bool:
+        expected = self._expected_upstream(frame)
+        if expected is None:
+            return True
+        self.stats.frames_verified += 1
+        verifier = self.upstream_verifiers.get(expected)
+        if verifier is None:
+            # Not configured for this neighbour: nothing to check.
+            return True
+        for name, index, value in frame.metadata.get(_GUARD_KEY, []):
+            if name == expected and verifier.verify(ChainElement(index, value)):
+                return True
+        self.stats.bypass_detected += 1
+        return False
+
+
+def install_path_guards(
+    network,
+    path: list[str],
+    hash_fn_factory,
+    seed: int | str = 0,
+    hop_distance: int = 2,
+    drop_on_detection: bool = True,
+) -> dict[str, PathGuard]:
+    """Guard every node on ``path`` and exchange token anchors.
+
+    Models the handshake-time fixing of the relay set: each node learns
+    the token-chain anchor of its ``hop_distance``-upstream neighbour.
+    """
+    rng = DRBG(seed, personalization=b"path-guard")
+    guards: dict[str, PathGuard] = {}
+    for name in path:
+        guards[name] = PathGuard(
+            network.nodes[name],
+            hash_fn_factory(),
+            rng.fork(name),
+            path,
+            hop_distance=hop_distance,
+            drop_on_detection=drop_on_detection,
+        )
+    for i, name in enumerate(path):
+        for upstream_index in (i - hop_distance, i + hop_distance):
+            if not 0 <= upstream_index < len(path):
+                continue
+            upstream = path[upstream_index]
+            guards[name].upstream_verifiers[upstream] = ChainVerifier(
+                guards[name]._hash,
+                guards[upstream].chain.anchor,
+                tags=GUARD_TAGS,
+                resync_window=512,
+            )
+    return guards
+
+
+class BypassRerouter:
+    """Colluding attackers diverting traffic around a victim relay.
+
+    ``accomplice_before`` flips its route for the association's
+    destination onto a side link towards ``accomplice_after``, so the
+    victim in between never sees the packets. End-to-end integrity is
+    unaffected (the paper notes this) — it is the victim's secure data
+    extraction and filtering that is neutralised, which the PathGuard
+    then detects downstream.
+    """
+
+    def __init__(
+        self,
+        network,
+        accomplice_before: str,
+        accomplice_after: str,
+        destinations: list[str],
+        reverse_destinations: list[str] | None = None,
+    ) -> None:
+        self.network = network
+        self.before = network.nodes[accomplice_before]
+        self.after = network.nodes[accomplice_after]
+        self.destinations = destinations
+        #: Traffic flowing back (A1/A2 packets) must also skip the
+        #: victim, or a strict relay would drop the acknowledgments of
+        #: exchanges it never saw and inadvertently break the attack.
+        self.reverse_destinations = reverse_destinations or []
+        self._saved_routes: list[tuple[Node, str, object]] = []
+        self.active = False
+
+    def engage(self) -> None:
+        """Start diverting (requires a direct before<->after link)."""
+        side_link = None
+        for link in self.before.links:
+            if link.other(self.before) is self.after:
+                side_link = link
+                break
+        if side_link is None:
+            raise RuntimeError(
+                f"no side link between {self.before.name} and {self.after.name}"
+            )
+        for dest in self.destinations:
+            self._saved_routes.append((self.before, dest, self.before.routes.get(dest)))
+            self.before.routes[dest] = side_link
+        for dest in self.reverse_destinations:
+            self._saved_routes.append((self.after, dest, self.after.routes.get(dest)))
+            self.after.routes[dest] = side_link
+        self.active = True
+
+    def disengage(self) -> None:
+        for node, dest, link in self._saved_routes:
+            if link is not None:
+                node.routes[dest] = link
+        self._saved_routes.clear()
+        self.active = False

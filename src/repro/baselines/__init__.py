@@ -1,0 +1,22 @@
+"""Baseline integrity-protection schemes the paper compares against.
+
+Each baseline is a small sans-IO engine plus an analytical cost model,
+so the benchmark harness can compare ALPHA against them both in
+simulation and on paper-style estimate tables:
+
+- :mod:`repro.baselines.hmac_e2e` — conventional shared-secret HMAC;
+  cheap but opaque to relays (the paper's core motivation).
+- :mod:`repro.baselines.pk_sign` — per-packet public-key signatures;
+  relay-verifiable but orders of magnitude more expensive (Table 4).
+- :mod:`repro.baselines.tesla` — time-based hash-chain signatures with
+  delayed key disclosure [18]; needs loose time sync and delays
+  verification by the disclosure lag.
+- :mod:`repro.baselines.guy_fawkes` — the interactive one-packet-lag
+  stream signature family ALPHA builds on [2].
+- :mod:`repro.baselines.lhap` — LHAP-style hop-by-hop token
+  authentication [26]; outsider protection only.
+"""
+
+from repro.baselines.base import SchemeProperties
+
+__all__ = ["SchemeProperties"]

@@ -1,0 +1,95 @@
+"""Shared vocabulary for baseline schemes.
+
+:class:`SchemeProperties` captures the qualitative feature matrix the
+paper's related-work section walks through (Section 2): whether relays
+can verify, whether insiders are contained, whether time synchronisation
+is needed, and when a receiver can verify. The attack benchmarks assert
+this matrix empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """Feature matrix entry for one scheme."""
+
+    name: str
+    #: Can forwarding nodes verify packets (hop-by-hop authentication)?
+    relay_verifiable: bool
+    #: Does the scheme protect against otherwise-trusted insider relays
+    #: tampering with traffic (end-to-end integrity)?
+    insider_protection: bool
+    #: Does it require (loosely) synchronised clocks?
+    needs_time_sync: bool
+    #: Upper bound on when a receiver can verify a packet:
+    #: "immediate", "one-packet-lag", "disclosure-interval", "rtt".
+    verification_delay: str
+    #: Per-message hash-equivalent operations on the *sender*
+    #: (public-key ops expressed separately).
+    sender_hash_ops: float = 0.0
+    sender_pk_ops: float = 0.0
+    #: Per-message signature bytes on the wire.
+    signature_bytes: int = 0
+
+
+def feature_matrix() -> list[SchemeProperties]:
+    """The qualitative comparison table (paper Section 2 distilled)."""
+    return [
+        SchemeProperties(
+            name="ALPHA",
+            relay_verifiable=True,
+            insider_protection=True,
+            needs_time_sync=False,
+            verification_delay="rtt",
+            sender_hash_ops=4.0,
+            signature_bytes=2 * 20,
+        ),
+        SchemeProperties(
+            name="HMAC-E2E",
+            relay_verifiable=False,
+            insider_protection=True,
+            needs_time_sync=False,
+            verification_delay="immediate",
+            sender_hash_ops=1.0,
+            signature_bytes=20,
+        ),
+        SchemeProperties(
+            name="PK-SIGN",
+            relay_verifiable=True,
+            insider_protection=True,
+            needs_time_sync=False,
+            verification_delay="immediate",
+            sender_pk_ops=1.0,
+            signature_bytes=128,
+        ),
+        SchemeProperties(
+            name="TESLA",
+            relay_verifiable=False,
+            insider_protection=True,
+            needs_time_sync=True,
+            verification_delay="disclosure-interval",
+            sender_hash_ops=2.0,
+            signature_bytes=2 * 20,
+        ),
+        SchemeProperties(
+            name="GUY-FAWKES",
+            relay_verifiable=False,
+            insider_protection=True,
+            needs_time_sync=False,
+            verification_delay="one-packet-lag",
+            sender_hash_ops=2.0,
+            signature_bytes=2 * 20,
+        ),
+        SchemeProperties(
+            name="LHAP",
+            relay_verifiable=True,
+            insider_protection=False,
+            needs_time_sync=True,
+            verification_delay="immediate",
+            sender_hash_ops=1.0,
+            signature_bytes=20,
+        ),
+    ]

@@ -1,0 +1,111 @@
+"""Guy Fawkes-style interactive stream signatures (Anderson et al. [2]).
+
+The grandparent of ALPHA's interlocking idea. Each packet carries:
+
+- the message ``m_i``,
+- a commitment ``c_{i+1} = H(k_{i+1})`` to the *next* packet's key,
+- a MAC over ``(m_i, c_{i+1})`` keyed with the current key ``k_i``,
+- the disclosed previous key ``k_{i-1}``.
+
+The receiver can verify packet ``i-1`` once packet ``i`` discloses
+``k_{i-1}``: one-packet-lag verification. The scheme's weaknesses are
+exactly what ALPHA's design addresses (paper Sections 2.1.2, 3): it
+requires reliable in-order delivery (a single lost packet permanently
+breaks the verification chain — reproduced here as ``desynchronized``),
+and relays cannot filter since nothing is verifiable before the next
+packet arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.wire import Reader, Writer
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import HashFunction
+
+
+@dataclass
+class FawkesVerified:
+    index: int
+    message: bytes
+
+
+class GuyFawkesSigner:
+    """Sender side of one stream."""
+
+    def __init__(self, hash_fn: HashFunction, rng: DRBG) -> None:
+        self._hash = hash_fn
+        self._rng = rng
+        self._index = 0
+        self._current_key = rng.random_bytes(hash_fn.digest_size)
+        self._previous_key = b""
+
+    def bootstrap_commitment(self) -> bytes:
+        """``H(k_0)`` — must reach the receiver authentically."""
+        return self._hash.digest(self._current_key, label="fawkes-commit")
+
+    def protect(self, message: bytes) -> bytes:
+        next_key = self._rng.random_bytes(self._hash.digest_size)
+        next_commitment = self._hash.digest(next_key, label="fawkes-commit")
+        writer = Writer()
+        writer.u32(self._index)
+        writer.var_bytes(message)
+        writer.raw(next_commitment)
+        body = writer.getvalue()
+        tag = self._hash.mac(self._current_key, body, label="fawkes-mac")
+        out = Writer()
+        out.raw(body)
+        out.raw(tag)
+        out.var_bytes(self._previous_key)
+        self._previous_key = self._current_key
+        self._current_key = next_key
+        self._index += 1
+        return out.getvalue()
+
+
+class GuyFawkesVerifier:
+    """Receiver side: strict in-order, one-packet-lag verification."""
+
+    def __init__(self, hash_fn: HashFunction, bootstrap_commitment: bytes) -> None:
+        self._hash = hash_fn
+        self._expected_index = 0
+        self._commitment = bootstrap_commitment
+        self._pending: tuple[int, bytes, bytes, bytes] | None = None
+        self.verified: list[FawkesVerified] = []
+        self.desynchronized = False
+        self.rejected = 0
+
+    def handle_packet(self, packet: bytes) -> None:
+        if self.desynchronized:
+            self.rejected += 1
+            return
+        h = self._hash.digest_size
+        reader = Reader(packet)
+        index = reader.u32()
+        message = reader.var_bytes()
+        next_commitment = reader.raw(h)
+        body = packet[: 4 + 2 + len(message) + h]
+        tag = reader.raw(h)
+        previous_key = reader.var_bytes()
+        if index != self._expected_index:
+            # A loss or reorder permanently breaks the hash-linked
+            # stream — the brittleness ALPHA's per-exchange chains avoid.
+            self.desynchronized = True
+            self.rejected += 1
+            return
+        if self._pending is not None:
+            p_index, p_body, p_tag, p_commitment = self._pending
+            if self._hash.digest(previous_key, label="fawkes-commit") != p_commitment:
+                self.desynchronized = True
+                self.rejected += 1
+                return
+            if self._hash.mac(previous_key, p_body, label="fawkes-mac") != p_tag:
+                self.rejected += 1
+            else:
+                p_reader = Reader(p_body)
+                p_reader.u32()
+                self.verified.append(FawkesVerified(p_index, p_reader.var_bytes()))
+        self._pending = (index, body, tag, self._commitment)
+        self._commitment = next_commitment
+        self._expected_index = index + 1

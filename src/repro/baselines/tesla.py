@@ -1,0 +1,204 @@
+"""TESLA: time-based hash-chain signatures (Perrig et al. [18]).
+
+Time is divided into fixed intervals; each interval ``i`` has a chain
+key ``K_i`` (a reverse hash chain, anchor ``K_0`` bootstrapped to the
+receiver). Packets sent in interval ``i`` are MACed with a key derived
+from ``K_i``; ``K_i`` itself is disclosed ``d`` intervals later, so a
+receiver can only verify after the disclosure lag — and must *discard*
+any packet that arrives once its key could already be public (the
+security condition). This module reproduces the two drawbacks the paper
+holds against time-based schemes for multi-hop unicast (Section 2.1.1):
+
+- verification latency is at least the disclosure lag, and the interval
+  must exceed the worst-case path delay, so jittery multi-hop paths
+  force large intervals;
+- keys must be disclosed every interval even when no payload flows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.wire import Reader, Writer
+from repro.crypto.hashes import HashFunction
+
+
+@dataclass(frozen=True)
+class TeslaSchedule:
+    """Public parameters a verifier needs (alongside the anchor)."""
+
+    start_time: float
+    interval_s: float
+    disclosure_lag: int
+    chain_length: int
+
+    def interval_of(self, now: float) -> int:
+        if now < self.start_time:
+            raise ValueError("time precedes the schedule start")
+        return int((now - self.start_time) / self.interval_s)
+
+
+@dataclass
+class TeslaVerified:
+    interval: int
+    message: bytes
+
+
+class TeslaSigner:
+    """Sender side: interval keys, MACs, delayed disclosure."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        seed: bytes,
+        schedule: TeslaSchedule,
+    ) -> None:
+        self._hash = hash_fn
+        self.schedule = schedule
+        # Reverse chain: keys[i] = H(keys[i+1]); keys[0] is the anchor.
+        keys = [b""] * (schedule.chain_length + 1)
+        keys[schedule.chain_length] = seed
+        for i in range(schedule.chain_length - 1, -1, -1):
+            keys[i] = hash_fn.digest(keys[i + 1], label="tesla-chain")
+        self._keys = keys
+
+    @property
+    def anchor(self) -> bytes:
+        return self._keys[0]
+
+    def _mac_key(self, interval: int) -> bytes:
+        # Standard TESLA derivation: an independent MAC key per interval.
+        return self._hash.digest(self._keys[interval] + b"mac", label="tesla-derive")
+
+    def protect(self, message: bytes, now: float) -> bytes:
+        """MAC ``message`` with the current interval key."""
+        interval = self.schedule.interval_of(now)
+        if interval >= self.schedule.chain_length:
+            raise ValueError("TESLA chain exhausted")
+        writer = Writer()
+        writer.u32(interval)
+        writer.var_bytes(message)
+        body = writer.getvalue()
+        tag = self._hash.mac(self._mac_key(interval), body, label="tesla-mac")
+        out = Writer()
+        out.raw(body)
+        out.raw(tag)
+        disclosed_interval = interval - self.schedule.disclosure_lag
+        if disclosed_interval >= 0:
+            out.u32(disclosed_interval)
+            out.raw(self._keys[disclosed_interval])
+        return out.getvalue()
+
+    def idle_disclosure(self, now: float) -> bytes | None:
+        """Key-disclosure-only packet for intervals without payload.
+
+        This is the overhead the paper criticises: time-based schemes
+        "reveal hash elements at a regular interval even when no payload
+        is transferred".
+        """
+        interval = self.schedule.interval_of(now)
+        disclosed = interval - self.schedule.disclosure_lag
+        if disclosed < 0:
+            return None
+        writer = Writer()
+        writer.u32(disclosed)
+        writer.raw(self._keys[disclosed])
+        return writer.getvalue()
+
+
+class TeslaVerifier:
+    """Receiver side: buffering, the security condition, late drops."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        anchor: bytes,
+        schedule: TeslaSchedule,
+        max_clock_skew_s: float = 0.0,
+    ) -> None:
+        self._hash = hash_fn
+        self.schedule = schedule
+        self.max_clock_skew_s = max_clock_skew_s
+        self._trusted_interval = 0
+        self._trusted_key = anchor
+        self._pending: dict[int, list[tuple[bytes, bytes]]] = {}
+        self.verified: list[TeslaVerified] = []
+        self.dropped_unsafe = 0
+        self.rejected = 0
+
+    def handle_packet(self, packet: bytes, now: float) -> None:
+        """Buffer a data packet and process any piggybacked key."""
+        reader = Reader(packet)
+        interval = reader.u32()
+        message = reader.var_bytes()
+        body = packet[: 4 + 2 + len(message)]
+        tag = reader.raw(self._hash.digest_size)
+        disclosed_interval = None
+        disclosed_key = b""
+        if reader.remaining:
+            disclosed_interval = reader.u32()
+            disclosed_key = reader.raw(self._hash.digest_size)
+        # Security condition: the sender might already have disclosed
+        # K_interval if (its clock) has advanced past interval + lag.
+        sender_latest = self.schedule.interval_of(now + self.max_clock_skew_s)
+        if sender_latest >= interval + self.schedule.disclosure_lag:
+            self.dropped_unsafe += 1
+            return
+        self._pending.setdefault(interval, []).append((body, tag))
+        if disclosed_interval is not None:
+            self.handle_key(disclosed_interval, disclosed_key)
+
+    def handle_key(self, interval: int, key: bytes) -> None:
+        """Authenticate a disclosed key, then verify buffered packets."""
+        if interval <= self._trusted_interval and interval != 0:
+            return  # already have it
+        gap = interval - self._trusted_interval
+        if gap < 0 or gap > self.schedule.chain_length:
+            self.rejected += 1
+            return
+        value = key
+        for _ in range(gap):
+            value = self._hash.digest(value, label="tesla-chain-verify")
+        if value != self._trusted_key:
+            self.rejected += 1
+            return
+        self._trusted_interval = interval
+        self._trusted_key = key
+        mac_key = self._hash.digest(key + b"mac", label="tesla-derive")
+        for body, tag in self._pending.pop(interval, []):
+            if self._hash.mac(mac_key, body, label="tesla-mac") == tag:
+                reader = Reader(body)
+                reader.u32()
+                self.verified.append(TeslaVerified(interval, reader.var_bytes()))
+            else:
+                self.rejected += 1
+
+    def handle_disclosure_packet(self, packet: bytes) -> None:
+        """Process a key-only packet from :meth:`TeslaSigner.idle_disclosure`."""
+        reader = Reader(packet)
+        interval = reader.u32()
+        key = reader.raw(self._hash.digest_size)
+        self.handle_key(interval, key)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(v) for v in self._pending.values())
+
+
+def minimum_interval_for_path(worst_case_delay_s: float, safety_factor: float = 2.0) -> float:
+    """The smallest safe TESLA interval for a path.
+
+    Packets must arrive before their interval's key is disclosed, so the
+    interval must dominate the worst-case end-to-end delay — the paper's
+    argument for why jittery multi-hop networks force "drastically
+    increas[ed] application-to-application latency".
+    """
+    if worst_case_delay_s <= 0:
+        raise ValueError("delay must be positive")
+    return worst_case_delay_s * safety_factor
+
+
+def verification_latency(schedule: TeslaSchedule) -> float:
+    """Expected wait between reception and verifiability."""
+    return schedule.disclosure_lag * schedule.interval_s

@@ -1,0 +1,180 @@
+"""Bootstrapping: making anchors known (paper Section 3.4).
+
+The paper deliberately leaves the bootstrap pluggable and discusses four
+quadrants: static vs. dynamic and unprotected vs. protected. This module
+implements all of them:
+
+- **Dynamic unprotected** — a two-packet HS1/HS2 anchor exchange giving
+  each peer an ephemeral anonymous identity. Relays learn anchors by
+  observing the exchange.
+- **Dynamic protected** — the same exchange with anchors signed by RSA,
+  DSA, or ECDSA keys; asymmetric cryptography is *only* used here, as
+  the paper prescribes.
+- **Static** — :func:`establish_static` installs pairwise anchors
+  directly (the pre-deployment base-station model for WSNs), including
+  a helper to provision relays on a fixed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import AuthenticationError, ProtocolError
+from repro.core.hashchain import (
+    ACKNOWLEDGMENT_TAGS,
+    ChainElement,
+    HashChain,
+    SIGNATURE_TAGS,
+)
+from repro.core.packets import HandshakePacket
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import HashFunction
+from repro.crypto.signatures import SignatureScheme, verify_public_blob
+
+_NONCE_SIZE = 16
+
+
+@dataclass
+class ChainSet:
+    """One host's pair of chains for one association (Section 3.1).
+
+    A host signs with its signature chain and acknowledges with its
+    acknowledgment chain; the four anchors of the two hosts form the
+    shared security context {h^As_n, h^Aa_n, h^Bs_n, h^Ba_n}.
+    """
+
+    signature: HashChain
+    acknowledgment: HashChain
+
+    @classmethod
+    def create(cls, hash_fn: HashFunction, rng: DRBG, length: int) -> "ChainSet":
+        size = hash_fn.digest_size
+        return cls(
+            signature=HashChain(
+                hash_fn, rng.random_bytes(size), length, tags=SIGNATURE_TAGS
+            ),
+            acknowledgment=HashChain(
+                hash_fn, rng.random_bytes(size), length, tags=ACKNOWLEDGMENT_TAGS
+            ),
+        )
+
+    @property
+    def anchors(self) -> tuple[ChainElement, ChainElement]:
+        return self.signature.anchor, self.acknowledgment.anchor
+
+
+@dataclass
+class PeerAnchors:
+    """What one host has learned about its peer."""
+
+    sig_anchor: ChainElement
+    ack_anchor: ChainElement
+    public_key: bytes = b""
+    authenticated: bool = False
+
+
+def build_handshake(
+    assoc_id: int,
+    chains: ChainSet,
+    hash_name: str,
+    rng: DRBG,
+    is_response: bool,
+    peer_nonce: bytes = b"",
+    identity: SignatureScheme | None = None,
+) -> HandshakePacket:
+    """Build an HS1 (or HS2) announcing our anchors.
+
+    With an ``identity``, the anchors are signed — the protected
+    bootstrap that binds the hash chains to a strong identity.
+    """
+    sig_anchor, ack_anchor = chains.anchors
+    packet = HandshakePacket(
+        assoc_id=assoc_id,
+        seq=0,
+        is_response=is_response,
+        hash_name=hash_name,
+        nonce=rng.random_bytes(_NONCE_SIZE),
+        sig_anchor=sig_anchor.value,
+        sig_chain_length=sig_anchor.index,
+        ack_anchor=ack_anchor.value,
+        ack_chain_length=ack_anchor.index,
+        peer_nonce=peer_nonce,
+    )
+    if identity is not None:
+        packet.public_key = identity.public_blob()
+        packet.signature = identity.sign(packet.signed_blob())
+    return packet
+
+
+def validate_handshake(
+    packet: HandshakePacket,
+    expect_protected: bool = False,
+    expected_peer_nonce: bytes | None = None,
+) -> PeerAnchors:
+    """Check a received HS1/HS2 and extract the peer's anchors.
+
+    Raises :class:`AuthenticationError` when a required signature is
+    missing or wrong, and :class:`ProtocolError` when a response does
+    not echo our nonce (replay defence).
+    """
+    if expected_peer_nonce is not None and packet.peer_nonce != expected_peer_nonce:
+        raise ProtocolError("handshake response does not echo our nonce")
+    authenticated = False
+    if packet.signature:
+        if not verify_public_blob(
+            packet.public_key, packet.signed_blob(), packet.signature
+        ):
+            raise AuthenticationError("handshake signature does not verify")
+        authenticated = True
+    elif expect_protected:
+        raise AuthenticationError("peer did not protect its handshake")
+    return PeerAnchors(
+        sig_anchor=ChainElement(packet.sig_chain_length, packet.sig_anchor),
+        ack_anchor=ChainElement(packet.ack_chain_length, packet.ack_anchor),
+        public_key=packet.public_key,
+        authenticated=authenticated,
+    )
+
+
+def establish_static(endpoint_a, endpoint_b, now: float = 0.0) -> int:
+    """Pre-deployment bootstrap: wire two endpoints together directly.
+
+    Models the WSN scenario where "base stations can provide nodes with
+    pair-wise anchors" before rollout — no packets are exchanged. Returns
+    the association id, which relays can be provisioned with via
+    :func:`provision_relays`.
+    """
+    assoc_id = endpoint_a.rng.random_int(63)
+    chains_a = endpoint_a._create_chains()
+    chains_b = endpoint_b._create_chains()
+    endpoint_a._install_association(
+        assoc_id,
+        endpoint_b.name,
+        chains_a,
+        PeerAnchors(*chains_b.anchors),
+        initiator=True,
+    )
+    endpoint_b._install_association(
+        assoc_id,
+        endpoint_a.name,
+        chains_b,
+        PeerAnchors(*chains_a.anchors),
+        initiator=False,
+    )
+    return assoc_id
+
+
+def provision_relays(relay_engines, endpoint_a, endpoint_b, assoc_id: int) -> None:
+    """Statically hand an association's anchors to a set of relays."""
+    assoc_a = endpoint_a.association_by_id(assoc_id)
+    assoc_b = endpoint_b.association_by_id(assoc_id)
+    for engine in relay_engines:
+        engine.provision(
+            assoc_id=assoc_id,
+            initiator=endpoint_a.name,
+            responder=endpoint_b.name,
+            initiator_sig_anchor=assoc_a.chains.signature.anchor,
+            initiator_ack_anchor=assoc_a.chains.acknowledgment.anchor,
+            responder_sig_anchor=assoc_b.chains.signature.anchor,
+            responder_ack_anchor=assoc_b.chains.acknowledgment.anchor,
+        )

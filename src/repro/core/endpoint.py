@@ -1,0 +1,433 @@
+"""The public entry point: an ALPHA host.
+
+An :class:`AlphaEndpoint` plays both roles of the paper's duplex design:
+for every association it owns a :class:`~repro.core.signer.SignerSession`
+(outbound simplex channel) and a
+:class:`~repro.core.verifier.VerifierSession` (inbound simplex channel),
+each backed by its own pair of hash chains — the four-anchor shared
+context of Section 3.1.
+
+The endpoint is sans-IO like the sessions underneath: ``connect``,
+``send``, ``on_packet`` and ``poll`` exchange ``(peer, payload)`` pairs,
+and a transport adapter (:mod:`repro.core.adapter`) moves them over the
+simulator. Applications typically use exactly four methods::
+
+    ep = AlphaEndpoint("s", EndpointConfig(mode=Mode.CUMULATIVE))
+    hs1 = ep.connect("v", now=0.0)        # -> send to "v"
+    ep.send("v", b"payload")              # queue protected data
+    out = ep.on_packet(data, "v", now)    # feed received packets
+    out = ep.poll(now)                    # drain timers/new exchanges
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.bootstrap import (
+    ChainSet,
+    PeerAnchors,
+    build_handshake,
+    validate_handshake,
+)
+from repro.core.exceptions import AlphaError, ProtocolError
+from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier
+from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
+from repro.core.packets import (
+    A1Packet,
+    A2Packet,
+    HandshakePacket,
+    PacketError,
+    S1Packet,
+    S2Packet,
+    decode_packet,
+)
+from repro.core.signer import ChannelConfig, DeliveryReport, SignerSession
+from repro.core.verifier import DeliveredMessage, VerifierSession
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import HashFunction, OpCounter, get_hash
+from repro.crypto.signatures import SignatureScheme
+
+
+@dataclass(frozen=True)
+class EndpointConfig:
+    """Endpoint-wide protocol parameters."""
+
+    hash_name: str = "sha1"
+    chain_length: int = 2048
+    mode: Mode = Mode.BASE
+    reliability: ReliabilityMode = ReliabilityMode.UNRELIABLE
+    batch_size: int = 8
+    retransmit_timeout_s: float = 0.25
+    max_retries: int = 6
+    retransmit_policy: RetransmitPolicy = RetransmitPolicy.SELECTIVE_REPEAT
+    resync_window: int = 128
+    #: Refuse unauthenticated handshakes from peers.
+    require_protected_handshake: bool = False
+    #: Verifier-side buffered exchange limit.
+    max_buffered_exchanges: int = 8
+    #: Start a replacement handshake when this few exchanges remain on
+    #: the outbound signature chain (0 disables automatic re-keying).
+    #: Chains are finite — the paper uses "a different set of hash
+    #: chains for each path", and a long-lived association needs fresh
+    #: chains before the old ones run dry.
+    rekey_threshold: int = 4
+    #: Willingness policy (paper Section 3.5): called with each decoded
+    #: S1; returning False withholds the A1, so relays never forward the
+    #: sender's data packets. ``None`` accepts everything.
+    accept_policy: Callable | None = None
+
+    def channel_config(self) -> ChannelConfig:
+        return ChannelConfig(
+            mode=self.mode,
+            reliability=self.reliability,
+            batch_size=self.batch_size,
+            retransmit_timeout_s=self.retransmit_timeout_s,
+            max_retries=self.max_retries,
+            retransmit_policy=self.retransmit_policy,
+        )
+
+
+@dataclass
+class Association:
+    """Duplex security context with one peer."""
+
+    assoc_id: int
+    peer: str
+    initiator: bool
+    chains: ChainSet
+    signer: SignerSession | None = None
+    verifier: VerifierSession | None = None
+    established: bool = False
+    hs_nonce: bytes = b""
+    hs_bytes: bytes = b""
+    hs_deadline: float = 0.0
+    hs_retries: int = 0
+    pending_sends: list[bytes] = field(default_factory=list)
+    #: assoc_id of the re-keying replacement, once one was initiated.
+    replacement_id: int | None = None
+    #: True once superseded by a replacement (kept around to drain).
+    retired: bool = False
+
+
+@dataclass
+class EndpointOutput:
+    """Everything one call produced: packets to send and app events."""
+
+    replies: list[tuple[str, bytes]] = field(default_factory=list)
+    delivered: list[tuple[str, DeliveredMessage]] = field(default_factory=list)
+    reports: list[tuple[str, DeliveryReport]] = field(default_factory=list)
+
+
+class AlphaEndpoint:
+    """A host speaking ALPHA on any number of associations."""
+
+    def __init__(
+        self,
+        name: str,
+        config: EndpointConfig | None = None,
+        seed: int | str | None = None,
+        identity: SignatureScheme | None = None,
+        counter: OpCounter | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config if config is not None else EndpointConfig()
+        self.rng = DRBG(seed if seed is not None else f"endpoint:{name}")
+        self.identity = identity
+        self.hash_fn: HashFunction = get_hash(self.config.hash_name, counter)
+        self._by_peer: dict[str, Association] = {}
+        self._by_id: dict[int, Association] = {}
+
+    # -- association management ------------------------------------------------
+
+    def connect(self, peer: str, now: float = 0.0) -> tuple[str, bytes]:
+        """Start a dynamic handshake. Returns the HS1 to transmit."""
+        if peer in self._by_peer:
+            raise ProtocolError(f"association with {peer} already exists")
+        assoc_id = self.rng.random_int(63)
+        chains = self._create_chains()
+        packet = build_handshake(
+            assoc_id=assoc_id,
+            chains=chains,
+            hash_name=self.config.hash_name,
+            rng=self.rng.fork(f"hs:{peer}"),
+            is_response=False,
+            identity=self.identity,
+        )
+        assoc = Association(
+            assoc_id=assoc_id,
+            peer=peer,
+            initiator=True,
+            chains=chains,
+            hs_nonce=packet.nonce,
+            hs_bytes=packet.encode(),
+            hs_deadline=now + self.config.retransmit_timeout_s,
+        )
+        self._by_peer[peer] = assoc
+        self._by_id[assoc_id] = assoc
+        return (peer, assoc.hs_bytes)
+
+    def association(self, peer: str) -> Association:
+        try:
+            return self._by_peer[peer]
+        except KeyError:
+            raise ProtocolError(f"no association with {peer}") from None
+
+    def association_by_id(self, assoc_id: int) -> Association:
+        try:
+            return self._by_id[assoc_id]
+        except KeyError:
+            raise ProtocolError(f"no association {assoc_id}") from None
+
+    @property
+    def peers(self) -> list[str]:
+        return sorted(self._by_peer)
+
+    # -- data plane --------------------------------------------------------------
+
+    def set_channel_config(self, peer: str, config: ChannelConfig) -> None:
+        """Adapt the outbound channel to ``peer`` (mode, batch, policy)."""
+        assoc = self.association(peer)
+        if not assoc.established:
+            raise ProtocolError(f"association with {peer} not yet established")
+        assoc.signer.reconfigure(config)
+
+    def send(self, peer: str, message: bytes) -> None:
+        """Queue a message for integrity-protected delivery to ``peer``."""
+        assoc = self.association(peer)
+        if not assoc.established:
+            assoc.pending_sends.append(message)
+            return
+        assoc.signer.submit(message)
+
+    def on_packet(self, data: bytes, src: str, now: float) -> EndpointOutput:
+        """Process one received packet; returns packets to send + events."""
+        out = EndpointOutput()
+        try:
+            packet = decode_packet(data, self.hash_fn.digest_size)
+        except PacketError:
+            return out
+        if isinstance(packet, HandshakePacket):
+            self._on_handshake(packet, src, out)
+            return out
+        assoc = self._by_id.get(packet.assoc_id)
+        if assoc is None or not assoc.established or assoc.peer != src:
+            return out
+        if isinstance(packet, S1Packet):
+            a1 = assoc.verifier.handle_s1(packet, now)
+            if a1 is not None:
+                out.replies.append((src, a1))
+        elif isinstance(packet, S2Packet):
+            a2 = assoc.verifier.handle_s2(packet, now)
+            if a2 is not None:
+                out.replies.append((src, a2))
+            for message in assoc.verifier.drain_delivered():
+                out.delivered.append((src, message))
+        elif isinstance(packet, A1Packet):
+            for s2 in assoc.signer.handle_a1(packet, now):
+                out.replies.append((src, s2))
+        elif isinstance(packet, A2Packet):
+            for s2 in assoc.signer.handle_a2(packet, now):
+                out.replies.append((src, s2))
+        self._collect_signer_output(assoc, now, out)
+        return out
+
+    def poll(self, now: float) -> EndpointOutput:
+        """Drive timers and start queued exchanges on every association."""
+        out = EndpointOutput()
+        for assoc in list(self._by_id.values()):
+            if not assoc.established:
+                # Initiator-side HS1 retransmission (the paper notes S1
+                # and A1 class packets need robust retransmission; the
+                # same holds for the optional handshake).
+                if (
+                    assoc.initiator
+                    and now >= assoc.hs_deadline
+                    and assoc.hs_retries < self.config.max_retries
+                ):
+                    assoc.hs_retries += 1
+                    assoc.hs_deadline = now + self.config.retransmit_timeout_s
+                    out.replies.append((assoc.peer, assoc.hs_bytes))
+                continue
+            self._collect_signer_output(assoc, now, out)
+            self._maybe_rekey(assoc, now, out)
+            if assoc.retired and assoc.signer.idle:
+                del self._by_id[assoc.assoc_id]
+        return out
+
+    @property
+    def busy(self) -> bool:
+        """True while any association has in-flight or queued work."""
+        return any(
+            assoc.established and not assoc.signer.idle
+            for assoc in self._by_peer.values()
+        ) or any(not assoc.established for assoc in self._by_peer.values())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _create_chains(self) -> ChainSet:
+        return ChainSet.create(
+            self.hash_fn, self.rng.fork("chains"), self.config.chain_length
+        )
+
+    def _install_association(
+        self,
+        assoc_id: int,
+        peer: str,
+        chains: ChainSet,
+        peer_anchors: PeerAnchors,
+        initiator: bool,
+    ) -> Association:
+        assoc = self._by_id.get(assoc_id)
+        if assoc is None:
+            assoc = Association(
+                assoc_id=assoc_id, peer=peer, initiator=initiator, chains=chains
+            )
+            previous = self._by_peer.get(peer)
+            if previous is not None and previous.assoc_id != assoc_id:
+                previous.retired = True  # superseded by the peer's re-key
+            self._by_peer[peer] = assoc
+            self._by_id[assoc_id] = assoc
+        channel_config = self.config.channel_config()
+        assoc.signer = SignerSession(
+            hash_fn=self.hash_fn,
+            sig_chain=chains.signature,
+            ack_verifier=ChainVerifier(
+                self.hash_fn,
+                peer_anchors.ack_anchor,
+                tags=ACKNOWLEDGMENT_TAGS,
+                resync_window=self.config.resync_window,
+            ),
+            config=channel_config,
+            assoc_id=assoc_id,
+        )
+        assoc.verifier = VerifierSession(
+            hash_fn=self.hash_fn,
+            ack_chain=chains.acknowledgment,
+            sig_verifier=ChainVerifier(
+                self.hash_fn,
+                peer_anchors.sig_anchor,
+                resync_window=self.config.resync_window,
+            ),
+            assoc_id=assoc_id,
+            rng=self.rng.fork(f"verifier:{peer}"),
+            accept_policy=self.config.accept_policy,
+            max_buffered_exchanges=self.config.max_buffered_exchanges,
+        )
+        assoc.established = True
+        for message in assoc.pending_sends:
+            assoc.signer.submit(message)
+        assoc.pending_sends.clear()
+        return assoc
+
+    def _on_handshake(self, packet: HandshakePacket, src: str, out: EndpointOutput) -> None:
+        if packet.is_response:
+            assoc = self._by_id.get(packet.assoc_id)
+            if assoc is None or assoc.established or not assoc.initiator:
+                return
+            if assoc.peer != src:
+                return
+            try:
+                peer_anchors = validate_handshake(
+                    packet,
+                    expect_protected=self.config.require_protected_handshake,
+                    expected_peer_nonce=assoc.hs_nonce,
+                )
+            except AlphaError:
+                return
+            established = self._install_association(
+                packet.assoc_id, src, assoc.chains, peer_anchors, initiator=True
+            )
+            self._migrate_if_replacement(established)
+            return
+        # HS1: we are the responder.
+        existing = self._by_id.get(packet.assoc_id)
+        if existing is not None:
+            # Retransmitted HS1: repeat our HS2.
+            if existing.peer == src and existing.hs_bytes:
+                out.replies.append((src, existing.hs_bytes))
+            return
+        try:
+            peer_anchors = validate_handshake(
+                packet, expect_protected=self.config.require_protected_handshake
+            )
+        except AlphaError:
+            return
+        chains = self._create_chains()
+        response = build_handshake(
+            assoc_id=packet.assoc_id,
+            chains=chains,
+            hash_name=self.config.hash_name,
+            rng=self.rng.fork(f"hs:{src}"),
+            is_response=True,
+            peer_nonce=packet.nonce,
+            identity=self.identity,
+        )
+        assoc = self._install_association(
+            packet.assoc_id, src, chains, peer_anchors, initiator=False
+        )
+        assoc.hs_bytes = response.encode()
+        out.replies.append((src, assoc.hs_bytes))
+
+    def _maybe_rekey(self, assoc: Association, now: float, out: EndpointOutput) -> None:
+        """Initiate a replacement handshake before the chains run dry."""
+        if (
+            self.config.rekey_threshold <= 0
+            or not assoc.established
+            or assoc.retired
+            or not assoc.initiator
+            or assoc.replacement_id is not None
+        ):
+            return
+        remaining = min(
+            assoc.chains.signature.remaining_exchanges,
+            assoc.chains.acknowledgment.remaining_exchanges,
+        )
+        if remaining > self.config.rekey_threshold:
+            return
+        new_id = self.rng.random_int(63)
+        chains = self._create_chains()
+        packet = build_handshake(
+            assoc_id=new_id,
+            chains=chains,
+            hash_name=self.config.hash_name,
+            rng=self.rng.fork(f"rekey:{assoc.peer}:{new_id}"),
+            is_response=False,
+            identity=self.identity,
+        )
+        replacement = Association(
+            assoc_id=new_id,
+            peer=assoc.peer,
+            initiator=True,
+            chains=chains,
+            hs_nonce=packet.nonce,
+            hs_bytes=packet.encode(),
+            hs_deadline=now + self.config.retransmit_timeout_s,
+        )
+        self._by_id[new_id] = replacement
+        assoc.replacement_id = new_id
+        out.replies.append((assoc.peer, replacement.hs_bytes))
+
+    def _migrate_if_replacement(self, assoc: Association) -> None:
+        """Point the peer mapping at a freshly established replacement."""
+        current = self._by_peer.get(assoc.peer)
+        if current is assoc or current is None:
+            return
+        if current.replacement_id != assoc.assoc_id:
+            return
+        # Queued-but-unsent messages move to the fresh chains; in-flight
+        # exchanges finish on the old association, which is then drained
+        # and garbage-collected by poll().
+        if current.signer is not None:
+            while current.signer._queue:
+                assoc.signer.submit(current.signer._queue.popleft())
+        current.retired = True
+        self._by_peer[assoc.peer] = assoc
+
+    def _collect_signer_output(
+        self, assoc: Association, now: float, out: EndpointOutput
+    ) -> None:
+        for payload in assoc.signer.poll(now):
+            out.replies.append((assoc.peer, payload))
+        for report in assoc.signer.drain_reports():
+            out.reports.append((assoc.peer, report))

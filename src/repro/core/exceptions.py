@@ -1,0 +1,29 @@
+"""Exception hierarchy for the ALPHA implementation.
+
+All protocol-level failures derive from :class:`AlphaError` so callers
+can catch broadly; the subclasses distinguish what tests and relays need
+to tell apart (malformed bytes vs. failed authentication vs. exhausted
+chains vs. state-machine misuse).
+"""
+
+from __future__ import annotations
+
+
+class AlphaError(Exception):
+    """Base class for all ALPHA protocol errors."""
+
+
+class PacketError(AlphaError):
+    """A packet could not be decoded (truncated, bad magic, bad type)."""
+
+
+class AuthenticationError(AlphaError):
+    """A cryptographic check failed (chain element, MAC, tree path)."""
+
+
+class ChainExhaustedError(AlphaError):
+    """A hash chain has no undisclosed elements left."""
+
+
+class ProtocolError(AlphaError):
+    """A packet arrived that the state machine cannot accept."""

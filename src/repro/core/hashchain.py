@@ -1,0 +1,357 @@
+"""Role-bound one-way hash chains.
+
+The fundamental ALPHA data structure (paper Sections 2.1 and 3.2.1). A
+chain is built by iterating ``H_i = H(tag(i) | H_{i-1})`` from a random
+seed ``H_0``, where ``tag`` alternates between two role strings — "S1"
+for odd positions and "S2" for even positions on signature chains. The
+role binding makes elements destined for S1 authentication structurally
+distinguishable from MAC-key elements, which defeats the reformatting
+attack described in Section 3.2.1: an attacker cannot take an element
+disclosed in an S2 packet and replay it in the S1 role.
+
+Elements are used in reverse order of creation. The *anchor* ``H_n`` is
+exchanged at bootstrap; each basic exchange then consumes two elements —
+an odd one (sent in S1 as an identity token) and the even one below it
+(used as MAC key, disclosed in S2).
+
+The chain length ``n`` must be even so the anchor sits at an even
+position and the first disclosed element is S1-typed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import AuthenticationError, ChainExhaustedError
+from repro.crypto.hashes import HashFunction
+
+#: Role tag pairs: (odd-position tag, even-position tag).
+SIGNATURE_TAGS = (b"S1", b"S2")
+ACKNOWLEDGMENT_TAGS = (b"A1", b"A2")
+
+
+def _tag_for(index: int, tags: tuple[bytes, bytes]) -> bytes:
+    return tags[0] if index % 2 else tags[1]
+
+
+@dataclass(frozen=True)
+class ChainElement:
+    """One disclosed or disclosable chain element."""
+
+    index: int
+    value: bytes
+
+
+class HashChain:
+    """The owner's side of a chain: generation and ordered disclosure.
+
+    Parameters
+    ----------
+    hash_fn:
+        The hash to build the chain with; construction is counted on its
+        operation counter (``n`` fixed-input hashes — the paper's
+        off-line-computable "HC create" column).
+    seed:
+        Random secret, ideally ``hash_fn.digest_size`` bytes.
+    length:
+        Number of iterations ``n`` (must be even and >= 2). Supports
+        ``length // 2`` signature exchanges.
+    tags:
+        Role tag pair; use :data:`SIGNATURE_TAGS` or
+        :data:`ACKNOWLEDGMENT_TAGS`.
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        seed: bytes,
+        length: int,
+        tags: tuple[bytes, bytes] = SIGNATURE_TAGS,
+    ) -> None:
+        if length < 2 or length % 2:
+            raise ValueError(f"chain length must be even and >= 2, got {length}")
+        if not seed:
+            raise ValueError("seed must be non-empty")
+        self._hash = hash_fn
+        self.tags = tags
+        self.length = length
+        elements = [seed]
+        value = seed
+        for index in range(1, length + 1):
+            value = hash_fn.digest(_tag_for(index, tags) + value, label="chain-create")
+            elements.append(value)
+        self._elements = elements
+        # Position of the most recently disclosed element; starts at the
+        # anchor, which is public by definition.
+        self._cursor = length
+
+    @property
+    def anchor(self) -> ChainElement:
+        """The public end of the chain, exchanged at bootstrap."""
+        return ChainElement(self.length, self._elements[self.length])
+
+    @property
+    def remaining(self) -> int:
+        """Undisclosed elements left (excluding the seed)."""
+        return self._cursor
+
+    @property
+    def remaining_exchanges(self) -> int:
+        """Complete two-element exchanges the chain can still support."""
+        return self._cursor // 2
+
+    def element(self, index: int) -> ChainElement:
+        """Access an element by position (owner-side only)."""
+        if not 0 <= index <= self.length:
+            raise IndexError(f"chain position {index} out of range 0..{self.length}")
+        return ChainElement(index, self._elements[index])
+
+    def next_exchange(self) -> tuple[ChainElement, ChainElement]:
+        """Consume one exchange worth of elements.
+
+        Returns ``(s1_element, mac_key_element)``: the odd-position
+        identity token for the S1 packet and the even-position element
+        one step down that keys the MAC and is disclosed in S2.
+        """
+        if self._cursor < 2:
+            raise ChainExhaustedError(
+                f"chain exhausted after {self.length // 2} exchanges"
+            )
+        s1_index = self._cursor - 1
+        key_index = self._cursor - 2
+        self._cursor -= 2
+        return (
+            ChainElement(s1_index, self._elements[s1_index]),
+            ChainElement(key_index, self._elements[key_index]),
+        )
+
+    def peek_exchange(self) -> tuple[ChainElement, ChainElement]:
+        """Like :meth:`next_exchange` without consuming the elements."""
+        if self._cursor < 2:
+            raise ChainExhaustedError(
+                f"chain exhausted after {self.length // 2} exchanges"
+            )
+        return (
+            ChainElement(self._cursor - 1, self._elements[self._cursor - 1]),
+            ChainElement(self._cursor - 2, self._elements[self._cursor - 2]),
+        )
+
+
+class ChainVerifier:
+    """The receiving side: verifies disclosed elements against an anchor.
+
+    Tracks the last accepted element and verifies a newly disclosed one
+    by hashing it forward (applying the correct role tags per position)
+    until it meets the trusted value. The allowed gap is bounded by
+    ``resync_window`` so an attacker cannot make a verifier burn
+    unbounded CPU with a far-past claim; lost packets within the window
+    are tolerated, matching the paper's loss-tolerance discussion.
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        anchor: ChainElement,
+        tags: tuple[bytes, bytes] = SIGNATURE_TAGS,
+        resync_window: int = 128,
+    ) -> None:
+        if resync_window < 1:
+            raise ValueError("resync window must be at least 1")
+        self._hash = hash_fn
+        self.tags = tags
+        self.resync_window = resync_window
+        self.trusted = anchor
+        # Chain values *derived* while walking verification gaps. When a
+        # packet carrying element i is lost and element i-2 verifies with
+        # gap 2, the walk computes the genuine value at position i as a
+        # by-product; caching it lets a late disclosure of i (reordered
+        # S2/A2) still authenticate. Only disclosures may use this cache
+        # — identity tokens (S1/A1) must strictly advance the chain, or
+        # an attacker could replay public elements as fresh identities.
+        self._derived: dict[int, bytes] = {}
+
+    def verify(self, element: ChainElement, commit: bool = True) -> bool:
+        """Check that ``element`` freshly extends the chain downward.
+
+        On success with ``commit=True`` the verifier advances its trusted
+        element, so each element can authenticate only once (freshness).
+        """
+        gap = self.trusted.index - element.index
+        if gap <= 0 or gap > self.resync_window:
+            return False
+        value = element.value
+        derived = {}
+        for index in range(element.index + 1, self.trusted.index + 1):
+            value = self._hash.digest(
+                _tag_for(index, self.tags) + value, label="chain-verify"
+            )
+            if index < self.trusted.index:
+                derived[index] = value
+        if value != self.trusted.value:
+            return False
+        if commit:
+            self._derived.update(derived)
+            self._derived[self.trusted.index] = self.trusted.value
+            self.trusted = element
+            self._prune_derived()
+        return True
+
+    def verify_disclosure(self, element: ChainElement) -> bool:
+        """Check a *disclosed* element (an S2/A2 key).
+
+        Accepts either a fresh extension of the chain (the common
+        in-order case, committing as :meth:`verify` does) or a value
+        derived earlier while walking a gap (a disclosure whose packet
+        was overtaken by the next exchange's S1).
+        """
+        cached = self._derived.get(element.index)
+        if cached is not None:
+            return cached == element.value
+        return self.verify(element)
+
+    def consume_derived(self, element: ChainElement) -> bool:
+        """Single-use acceptance of a derived identity element.
+
+        Pipelined exchanges can deliver identity tokens (S1/A1) out of
+        order: the token of exchange *k+1* commits the verifier past the
+        token of exchange *k*, whose genuine value was derived during
+        the gap walk. This accepts such a token exactly once — the cache
+        entry is consumed — so a replayed token can never authenticate a
+        second time. Callers must still bind the token to its exchange
+        (sequence number, echo field) as the engines do.
+        """
+        cached = self._derived.pop(element.index, None)
+        if cached is None:
+            return False
+        if cached != element.value:
+            # Don't let a forgery burn the genuine entry.
+            self._derived[element.index] = cached
+            return False
+        return True
+
+    def _prune_derived(self) -> None:
+        horizon = self.trusted.index + self.resync_window
+        if len(self._derived) > 2 * self.resync_window:
+            self._derived = {
+                index: value
+                for index, value in self._derived.items()
+                if index <= horizon
+            }
+
+    def require(self, element: ChainElement, commit: bool = True) -> None:
+        """Like :meth:`verify` but raises on failure."""
+        if not self.verify(element, commit=commit):
+            raise AuthenticationError(
+                f"chain element at index {element.index} does not verify against "
+                f"trusted index {self.trusted.index}"
+            )
+
+
+class CheckpointedHashChain:
+    """Owner-side chain with O(n/k + k) memory.
+
+    A plain :class:`HashChain` stores all ``n`` elements — fine on a
+    workstation, heavy on a sensor node (a 2048-element SHA-1 chain is
+    40 KiB, five times the AquisGrain's RAM). This variant keeps only
+    every ``k``-th element and rebuilds the active segment on demand:
+    worst-case ``k`` extra hashes per access, amortized far less because
+    ALPHA walks the chain strictly downward.
+
+    The interface mirrors :class:`HashChain`, so signer sessions accept
+    either (duck-typed). Recomputation is charged to the hash counter
+    under the label ``"chain-recompute"`` so benchmarks can separate it
+    from protocol work.
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        seed: bytes,
+        length: int,
+        tags: tuple[bytes, bytes] = SIGNATURE_TAGS,
+        checkpoint_interval: int = 64,
+    ) -> None:
+        if length < 2 or length % 2:
+            raise ValueError(f"chain length must be even and >= 2, got {length}")
+        if not seed:
+            raise ValueError("seed must be non-empty")
+        if checkpoint_interval < 2:
+            raise ValueError("checkpoint interval must be at least 2")
+        self._hash = hash_fn
+        self.tags = tags
+        self.length = length
+        self.checkpoint_interval = checkpoint_interval
+        # Build once, keeping checkpoints at positions 0, k, 2k, ...
+        self._checkpoints: dict[int, bytes] = {0: seed}
+        value = seed
+        for index in range(1, length + 1):
+            value = hash_fn.digest(_tag_for(index, tags) + value, label="chain-create")
+            if index % checkpoint_interval == 0 or index == length:
+                self._checkpoints[index] = value
+        self._anchor_value = value
+        self._cursor = length
+        # Cache of the segment currently being consumed.
+        self._segment_base = -1
+        self._segment: list[bytes] = []
+
+    @property
+    def anchor(self) -> ChainElement:
+        return ChainElement(self.length, self._anchor_value)
+
+    @property
+    def remaining(self) -> int:
+        return self._cursor
+
+    @property
+    def remaining_exchanges(self) -> int:
+        return self._cursor // 2
+
+    @property
+    def stored_elements(self) -> int:
+        """Elements held in memory right now (checkpoints + segment)."""
+        return len(self._checkpoints) + len(self._segment)
+
+    def element(self, index: int) -> ChainElement:
+        if not 0 <= index <= self.length:
+            raise IndexError(f"chain position {index} out of range 0..{self.length}")
+        cached = self._checkpoints.get(index)
+        if cached is not None:
+            return ChainElement(index, cached)
+        base = (index // self.checkpoint_interval) * self.checkpoint_interval
+        if self._segment_base != base:
+            self._rebuild_segment(base)
+        return ChainElement(index, self._segment[index - base])
+
+    def _rebuild_segment(self, base: int) -> None:
+        value = self._checkpoints[base]
+        segment = [value]
+        top = min(base + self.checkpoint_interval, self.length)
+        for index in range(base + 1, top + 1):
+            value = self._hash.digest(
+                _tag_for(index, self.tags) + value, label="chain-recompute"
+            )
+            segment.append(value)
+        self._segment_base = base
+        self._segment = segment
+        # Checkpoints above the cursor will never be needed again.
+        horizon = self._cursor + self.checkpoint_interval
+        self._checkpoints = {
+            i: v for i, v in self._checkpoints.items() if i <= horizon
+        }
+
+    def next_exchange(self) -> tuple[ChainElement, ChainElement]:
+        if self._cursor < 2:
+            raise ChainExhaustedError(
+                f"chain exhausted after {self.length // 2} exchanges"
+            )
+        s1 = self.element(self._cursor - 1)
+        key = self.element(self._cursor - 2)
+        self._cursor -= 2
+        return s1, key
+
+    def peek_exchange(self) -> tuple[ChainElement, ChainElement]:
+        if self._cursor < 2:
+            raise ChainExhaustedError(
+                f"chain exhausted after {self.length // 2} exchanges"
+            )
+        return self.element(self._cursor - 1), self.element(self._cursor - 2)

@@ -1,0 +1,153 @@
+"""Keyed Merkle trees for ALPHA-M (paper Section 3.3.2, Figure 4).
+
+A signer splits its buffered messages into blocks ``m_j``, hashes each
+into a leaf ``b_j = H(m_j)``, and builds a binary tree where every
+internal node is the hash of its children's concatenation. The root is
+*keyed* with the signer's next undisclosed chain element:
+
+    r = H(h^Ss_{i-1} | b_0 | b_1)
+
+so the pre-signature commits simultaneously to the whole message set and
+to the key that will be disclosed in the S2 packets. Each S2 then
+carries its block plus the complementary branch set ``{Bc}`` — one
+sibling per level — allowing independent, out-of-order verification of
+every block with ``⌈log2 n⌉`` fixed-size hashes.
+
+Leaf counts that are not powers of two are padded with empty-message
+leaves; the pad leaves can never verify as real messages because their
+pre-image is the empty block, which the protocol layer rejects.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import HashFunction
+
+
+def _ceil_pow2(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+class MerkleTree:
+    """Signer-side tree: construction, keyed root, and path extraction.
+
+    ``label_prefix`` namespaces the operation-counter labels so that
+    message trees ("merkle-leaf" — variable-size inputs, the paper's
+    asterisk entries) are distinguishable from acknowledgment trees
+    ("amt-leaf" — fixed-size inputs) in measured Table 1 accounting.
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        messages: list[bytes],
+        label_prefix: str = "merkle",
+    ) -> None:
+        if not messages:
+            raise ValueError("a Merkle tree needs at least one message")
+        self._hash = hash_fn
+        self._label_prefix = label_prefix
+        self.n_messages = len(messages)
+        self.n_leaves = _ceil_pow2(len(messages))
+        padded = list(messages) + [b""] * (self.n_leaves - len(messages))
+        # levels[0] is the leaf row; levels[-1] has one or two nodes.
+        leaf_row = [
+            hash_fn.digest(block, label=f"{label_prefix}-leaf") for block in padded
+        ]
+        levels = [leaf_row]
+        while len(levels[-1]) > 2:
+            row = levels[-1]
+            levels.append(
+                [
+                    hash_fn.digest(row[i] + row[i + 1], label=f"{label_prefix}-node")
+                    for i in range(0, len(row), 2)
+                ]
+            )
+        self._levels = levels
+
+    @property
+    def depth(self) -> int:
+        """Number of sibling hashes in an authentication path."""
+        return len(self._levels) if len(self._levels[-1]) == 2 else len(self._levels) - 1
+
+    def root(self, key: bytes) -> bytes:
+        """The keyed root ``H(key | b_0 | b_1)`` (or ``H(key | b_0)``)."""
+        top = self._levels[-1]
+        return self._hash.digest(
+            key + b"".join(top), label=f"{self._label_prefix}-root"
+        )
+
+    def path(self, index: int) -> list[bytes]:
+        """Complementary branches ``{Bc}`` for leaf ``index``, bottom-up.
+
+        The final entry (when the tree has more than one leaf) is the
+        sibling of the top-level node on the leaf's side; the keyed root
+        combine consumes both top nodes directly.
+        """
+        if not 0 <= index < self.n_messages:
+            raise IndexError(f"leaf index {index} out of range 0..{self.n_messages - 1}")
+        siblings = []
+        position = index
+        for row in self._levels[:-1]:
+            siblings.append(row[position ^ 1])
+            position //= 2
+        if len(self._levels[-1]) == 2:
+            siblings.append(self._levels[-1][position ^ 1])
+        return siblings
+
+
+def verify_merkle_path(
+    hash_fn: HashFunction,
+    message: bytes,
+    index: int,
+    path: list[bytes],
+    key: bytes,
+    expected_root: bytes,
+    label_prefix: str = "merkle",
+) -> bool:
+    """Verifier/relay-side check of one S2 block.
+
+    Recomputes the leaf from ``message``, folds the complementary
+    branches upward, applies the disclosed key, and compares against the
+    committed root. Performs ``len(path) + 1`` fixed-size hash
+    operations plus one leaf hash over the message — the paper's
+    ``1* + log2(n)`` verifier cost (Table 1).
+    """
+    if index < 0:
+        return False
+    value = hash_fn.digest(message, label=f"{label_prefix}-leaf")
+    position = index
+    if path:
+        for sibling in path[:-1]:
+            if position % 2:
+                value = hash_fn.digest(sibling + value, label=f"{label_prefix}-node")
+            else:
+                value = hash_fn.digest(value + sibling, label=f"{label_prefix}-node")
+            position //= 2
+        top_sibling = path[-1]
+        if position % 2:
+            combined = key + top_sibling + value
+        else:
+            combined = key + value + top_sibling
+        root = hash_fn.digest(combined, label=f"{label_prefix}-root")
+    else:
+        root = hash_fn.digest(key + value, label=f"{label_prefix}-root")
+    return root == expected_root
+
+
+def path_overhead_bytes(n_messages: int, hash_size: int) -> int:
+    """On-wire bytes of ``{Bc}`` plus the disclosed key for one S2.
+
+    This is the per-packet signature overhead that produces the see-saw
+    pattern of the paper's Figure 5: ``(⌈log2 n⌉ + 1) * hash_size``.
+    """
+    if n_messages < 1:
+        raise ValueError("need at least one message")
+    depth = 0
+    power = 1
+    while power < n_messages:
+        power *= 2
+        depth += 1
+    return (depth + 1) * hash_size

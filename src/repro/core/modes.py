@@ -1,0 +1,54 @@
+"""Operational modes of ALPHA.
+
+The paper defines one base protocol and two bandwidth-adaptation modes
+(Section 3.3), combinable with unreliable or reliable delivery
+(Section 3.2). These enums are carried in the S1 packet so verifiers and
+relays know how to interpret the pre-signature data.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.IntEnum):
+    """Pre-signature layout of an exchange."""
+
+    #: One message, one MAC per S1 (Section 3.1).
+    BASE = 0
+    #: ALPHA-C — n MACs per S1, all keyed with the same undisclosed
+    #: element (Section 3.3.1).
+    CUMULATIVE = 1
+    #: ALPHA-M — one keyed Merkle-tree root per S1; each S2 carries its
+    #: authentication path (Section 3.3.2).
+    MERKLE = 2
+    #: Combined ALPHA-C+M — several Merkle roots per S1, each covering a
+    #: slice of the batch. "Delivering multiple MT roots per S1 packet
+    #: makes possible a reduction of the computational cost for
+    #: verifying {Bc} or enables the sender to send a larger number of
+    #: S2 packets with constant cost" (Section 3.3.2, last paragraph).
+    MERKLE_CUMULATIVE = 3
+
+
+class ReliabilityMode(enum.IntEnum):
+    """Acknowledgment handling of an exchange."""
+
+    #: Fire-and-forget three-way exchange (Section 3.2.1).
+    UNRELIABLE = 0
+    #: Pre-ack/pre-nack in A1, opened in A2 (Section 3.2.2); for
+    #: Mode.MERKLE the pre-acks live in an Acknowledgment Merkle Tree
+    #: (Section 3.3.3).
+    RELIABLE = 1
+
+
+class RetransmitPolicy(enum.IntEnum):
+    """How a reliable signer reacts to nacks and timeouts.
+
+    The paper notes the AMT "can enable retransmission schemes as
+    selective repeat and go-back-n for ALPHA-M"; all three classic
+    policies are implemented.
+    """
+
+    STOP_AND_WAIT = 0
+    GO_BACK_N = 1
+    SELECTIVE_REPEAT = 2

@@ -1,0 +1,449 @@
+"""The relay's protocol engine (sans-IO).
+
+Relays are what make ALPHA *hop-by-hop*: every forwarding node that has
+observed the handshake can verify each packet of an association before
+forwarding it, drop forgeries early, and securely extract signed payload
+(paper Sections 3.1, 3.1.1, 3.5). A relay keeps per-association state
+for both simplex channels and needs only the buffered pre-signatures —
+``n · h`` bytes per exchange (Table 2's relay column).
+
+Flood mitigation: the only packets a relay forwards unconditionally are
+S1 packets, and those are subject to an adaptive size allowance — small
+at first, grown multiplicatively whenever the destination answers with a
+valid A1 — implementing the paper's advice that "relays should initially
+limit and later increase the maximum size of S1 packets per sender"
+(Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.acktree import AckOpening, verify_ack_opening
+from repro.core.hashchain import (
+    ACKNOWLEDGMENT_TAGS,
+    ChainElement,
+    ChainVerifier,
+)
+from repro.core.merkle import verify_merkle_path
+from repro.core.modes import Mode
+from repro.core.packets import (
+    A1Packet,
+    A2Packet,
+    HandshakePacket,
+    PacketType,
+    S1Packet,
+    S2Packet,
+    decode_packet,
+    peek_type,
+)
+from repro.core.exceptions import PacketError
+from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
+from repro.crypto.hashes import HashFunction
+
+
+@dataclass(frozen=True)
+class RelayConfig:
+    """Behaviour switches for a relay."""
+
+    #: Drop S2/A2 packets the relay cannot verify (no buffered state).
+    #: When False, unverifiable transit traffic is forwarded unverified,
+    #: which models partially-deployed ALPHA (Section 3.5).
+    strict: bool = True
+    #: Refuse to forward S2 packets when no A1 has been observed for the
+    #: exchange — the paper's suppression of unsolicited traffic.
+    require_a1_for_s2: bool = True
+    #: Forward packets of associations with unknown anchors (non-ALPHA
+    #: relays would). Strict-security deployments set this to False.
+    forward_unknown: bool = True
+    #: Initial per-association S1 size allowance in bytes, and its cap.
+    initial_s1_allowance: int = 1536
+    max_s1_allowance: int = 65535
+    #: Buffered exchanges per simplex channel.
+    max_buffered_exchanges: int = 8
+
+
+@dataclass
+class RelayDecision:
+    """Outcome of :meth:`RelayEngine.handle` for one packet."""
+
+    forward: bool
+    reason: str
+    verified: bool = False
+    extracted: list = field(default_factory=list)
+
+
+@dataclass
+class ExtractedMessage:
+    """A payload a relay verified and could act upon (e.g. signaling)."""
+
+    assoc_id: int
+    seq: int
+    msg_index: int
+    message: bytes
+    signer: str
+
+
+@dataclass
+class _RelayExchange:
+    seq: int
+    mode: Mode
+    reliable: bool
+    message_count: int
+    pre_signatures: list[bytes]
+    s1_element: ChainElement
+    key_value: bytes | None = None
+    a1_seen: bool = False
+    pre_acks: list[bytes] = field(default_factory=list)
+    pre_nacks: list[bytes] = field(default_factory=list)
+    amt_root: bytes | None = None
+    ack_key_value: bytes | None = None
+    verified_s2: set[int] = field(default_factory=set)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(len(sig) for sig in self.pre_signatures) + sum(
+            len(h) for h in self.pre_acks + self.pre_nacks
+        ) + (len(self.amt_root) if self.amt_root else 0)
+
+
+class _ChannelObserver:
+    """Relay-side view of one simplex channel (signer -> verifier)."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        signer_name: str,
+        sig_anchor: ChainElement,
+        ack_anchor: ChainElement,
+        config: RelayConfig,
+    ) -> None:
+        self._hash = hash_fn
+        self.signer_name = signer_name
+        self.sig_verifier = ChainVerifier(hash_fn, sig_anchor)
+        self.ack_verifier = ChainVerifier(hash_fn, ack_anchor, tags=ACKNOWLEDGMENT_TAGS)
+        self.config = config
+        self.exchanges: dict[int, _RelayExchange] = {}
+        self.s1_allowance = config.initial_s1_allowance
+
+    def on_s1(self, packet: S1Packet, wire_size: int) -> RelayDecision:
+        if wire_size > self.s1_allowance:
+            return RelayDecision(False, "s1-over-allowance")
+        existing = self.exchanges.get(packet.seq)
+        if existing is not None:
+            # Retransmission of a buffered exchange: identical content
+            # verifies trivially against the buffer.
+            same = (
+                existing.s1_element.value == packet.chain_element
+                and existing.pre_signatures == packet.pre_signatures
+            )
+            return RelayDecision(same, "s1-retransmit" if same else "s1-mismatch")
+        if packet.chain_index % 2 == 0:
+            # Reformatting-attack defence: S1 tokens are odd-position
+            # elements by construction (Section 3.2.1).
+            return RelayDecision(False, "s1-even-position")
+        element = ChainElement(packet.chain_index, packet.chain_element)
+        if not self.sig_verifier.verify(element):
+            if not self.sig_verifier.consume_derived(element):
+                return RelayDecision(False, "s1-bad-chain-element")
+        exchange = _RelayExchange(
+            seq=packet.seq,
+            mode=packet.mode,
+            reliable=packet.reliable,
+            message_count=packet.message_count,
+            pre_signatures=list(packet.pre_signatures),
+            s1_element=element,
+        )
+        self.exchanges[packet.seq] = exchange
+        while len(self.exchanges) > self.config.max_buffered_exchanges:
+            del self.exchanges[min(self.exchanges)]
+        return RelayDecision(True, "s1-ok", verified=True)
+
+    def on_a1(self, packet: A1Packet) -> RelayDecision:
+        if packet.ack_index % 2 == 0:
+            return RelayDecision(False, "a1-even-position")
+        element = ChainElement(packet.ack_index, packet.ack_element)
+        exchange = self.exchanges.get(packet.seq)
+        if exchange is None:
+            if self.config.strict:
+                return RelayDecision(False, "a1-unknown-exchange")
+            return RelayDecision(True, "a1-unverified")
+        if exchange.a1_seen:
+            # Duplicate A1 (answering an S1 retransmission): the chain
+            # element was already consumed, just pass it along.
+            return RelayDecision(True, "a1-retransmit")
+        if not self.ack_verifier.verify(element):
+            if not self.ack_verifier.consume_derived(element):
+                return RelayDecision(False, "a1-bad-chain-element")
+        if packet.echo_sig_element != exchange.s1_element.value:
+            return RelayDecision(False, "a1-wrong-echo")
+        exchange.a1_seen = True
+        exchange.pre_acks = list(packet.pre_acks)
+        exchange.pre_nacks = list(packet.pre_nacks)
+        exchange.amt_root = packet.amt_root
+        # The destination was willing: grow the sender's S1 allowance.
+        self.s1_allowance = min(self.s1_allowance * 2, self.config.max_s1_allowance)
+        return RelayDecision(True, "a1-ok", verified=True)
+
+    def on_s2(self, packet: S2Packet) -> RelayDecision:
+        exchange = self.exchanges.get(packet.seq)
+        if exchange is None:
+            if self.config.strict:
+                return RelayDecision(False, "s2-unknown-exchange")
+            return RelayDecision(True, "s2-unverified")
+        if self.config.require_a1_for_s2 and not exchange.a1_seen:
+            return RelayDecision(False, "s2-unsolicited")
+        if exchange.key_value is None:
+            disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
+            if disclosed.index != exchange.s1_element.index - 1:
+                return RelayDecision(False, "s2-wrong-key-index")
+            if not self.sig_verifier.verify_disclosure(disclosed):
+                return RelayDecision(False, "s2-bad-key")
+            exchange.key_value = disclosed.value
+        elif packet.disclosed_element != exchange.key_value:
+            return RelayDecision(False, "s2-key-mismatch")
+        if not self._verify_s2_payload(exchange, packet):
+            return RelayDecision(False, "s2-bad-payload")
+        exchange.verified_s2.add(packet.msg_index)
+        extracted = [
+            ExtractedMessage(
+                assoc_id=packet.assoc_id,
+                seq=packet.seq,
+                msg_index=packet.msg_index,
+                message=packet.message,
+                signer=self.signer_name,
+            )
+        ]
+        return RelayDecision(True, "s2-ok", verified=True, extracted=extracted)
+
+    def on_a2(self, packet: A2Packet) -> RelayDecision:
+        exchange = self.exchanges.get(packet.seq)
+        if exchange is None:
+            if self.config.strict:
+                return RelayDecision(False, "a2-unknown-exchange")
+            return RelayDecision(True, "a2-unverified")
+        if packet.disclosed_index % 2:
+            return RelayDecision(False, "a2-odd-position")
+        if exchange.ack_key_value is None:
+            disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
+            if not self.ack_verifier.verify_disclosure(disclosed):
+                return RelayDecision(False, "a2-bad-key")
+            exchange.ack_key_value = disclosed.value
+        elif packet.disclosed_element != exchange.ack_key_value:
+            return RelayDecision(False, "a2-key-mismatch")
+        key = exchange.ack_key_value
+        for verdict in packet.verdicts:
+            if not self._verify_verdict(exchange, key, verdict):
+                return RelayDecision(False, "a2-bad-verdict")
+        return RelayDecision(True, "a2-ok", verified=True)
+
+    def _verify_s2_payload(self, exchange: _RelayExchange, packet: S2Packet) -> bool:
+        if not 0 <= packet.msg_index < exchange.message_count:
+            return False
+        key = exchange.key_value
+        if exchange.mode in (Mode.MERKLE, Mode.MERKLE_CUMULATIVE):
+            if not packet.message:
+                return False
+            from repro.core.verifier import _locate_root
+
+            root, local_index = _locate_root(
+                exchange.pre_signatures, exchange.message_count, packet.msg_index
+            )
+            return verify_merkle_path(
+                self._hash,
+                packet.message,
+                local_index,
+                packet.auth_path,
+                key,
+                root,
+            )
+        recomputed = self._hash.mac(key, packet.message, label="relay-s2-verify")
+        return recomputed == exchange.pre_signatures[packet.msg_index]
+
+    def _verify_verdict(self, exchange: _RelayExchange, key: bytes, verdict) -> bool:
+        if exchange.amt_root is not None:
+            opening = AckOpening(
+                msg_index=verdict.msg_index,
+                is_ack=verdict.is_ack,
+                secret=verdict.secret,
+                path=verdict.path,
+            )
+            return verify_ack_opening(
+                self._hash, opening, exchange.message_count, key, exchange.amt_root
+            )
+        if not exchange.pre_acks:
+            # Unreliable exchange: an A2 is unexpected but harmless.
+            return False
+        if verdict.msg_index >= len(exchange.pre_acks):
+            return False
+        tag = PRE_ACK_TAG if verdict.is_ack else PRE_NACK_TAG
+        expected = (
+            exchange.pre_acks[verdict.msg_index]
+            if verdict.is_ack
+            else exchange.pre_nacks[verdict.msg_index]
+        )
+        return self._hash.digest(key + tag + verdict.secret, label="relay-ack-verify") == expected
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(ex.buffered_bytes for ex in self.exchanges.values())
+
+
+@dataclass
+class _RelayAssociation:
+    initiator: str
+    responder: str
+    hash_name: str
+    forward_channel: _ChannelObserver  # initiator signs
+    reverse_channel: _ChannelObserver  # responder signs
+
+
+class RelayEngine:
+    """Per-node relay state across all observed associations.
+
+    Call :meth:`handle` for every transit packet. The engine learns
+    anchors by observing handshakes (dynamic bootstrapping) or via
+    :meth:`provision` (static bootstrapping, e.g. WSN pre-deployment).
+    """
+
+    def __init__(self, hash_fn: HashFunction, config: RelayConfig | None = None) -> None:
+        self._hash = hash_fn
+        self.config = config if config is not None else RelayConfig()
+        self._associations: dict[int, _RelayAssociation] = {}
+        self._pending_hs1: dict[int, tuple[str, HandshakePacket]] = {}
+        self.stats: dict[str, int] = {}
+        self.extracted: list[ExtractedMessage] = []
+
+    def provision(
+        self,
+        assoc_id: int,
+        initiator: str,
+        responder: str,
+        initiator_sig_anchor: ChainElement,
+        initiator_ack_anchor: ChainElement,
+        responder_sig_anchor: ChainElement,
+        responder_ack_anchor: ChainElement,
+        hash_name: str = "sha1",
+    ) -> None:
+        """Statically install an association's anchors (Section 3.4)."""
+        self._associations[assoc_id] = _RelayAssociation(
+            initiator=initiator,
+            responder=responder,
+            hash_name=hash_name,
+            forward_channel=_ChannelObserver(
+                self._hash, initiator, initiator_sig_anchor, responder_ack_anchor, self.config
+            ),
+            reverse_channel=_ChannelObserver(
+                self._hash, responder, responder_sig_anchor, initiator_ack_anchor, self.config
+            ),
+        )
+
+    def handle(self, data: bytes, src: str, dst: str, now: float) -> RelayDecision:
+        """Decide whether to forward one transit packet."""
+        try:
+            packet_type = peek_type(data)
+        except PacketError:
+            return self._count(RelayDecision(True, "not-alpha"))
+        if packet_type is PacketType.HS1:
+            return self._count(self._on_hs1(data, src))
+        if packet_type is PacketType.HS2:
+            return self._count(self._on_hs2(data, src))
+        try:
+            packet = decode_packet(data, self._hash.digest_size)
+        except PacketError:
+            return self._count(RelayDecision(False, "malformed"))
+        assoc = self._associations.get(packet.assoc_id)
+        if assoc is None:
+            if not self.config.forward_unknown:
+                return self._count(RelayDecision(False, "unknown-association"))
+            # Even for unknown associations, S1-class packets only pass
+            # at the *initial* size allowance: an attacker flooding large
+            # S1s on fresh association ids gets clamped at the first
+            # relay (Section 3.5).
+            if (
+                isinstance(packet, S1Packet)
+                and len(data) > self.config.initial_s1_allowance
+            ):
+                return self._count(RelayDecision(False, "s1-over-allowance"))
+            return self._count(RelayDecision(True, "unknown-association"))
+        decision = self._dispatch(assoc, packet, src, len(data))
+        if decision.extracted:
+            self.extracted.extend(decision.extracted)
+        return self._count(decision)
+
+    # -- internals -------------------------------------------------------------
+
+    def _dispatch(
+        self, assoc: _RelayAssociation, packet, src: str, wire_size: int
+    ) -> RelayDecision:
+        from_initiator = src == assoc.initiator
+        from_responder = src == assoc.responder
+        if not from_initiator and not from_responder:
+            # Source-spoofed or rerouted traffic; judge by packet type
+            # against the forward channel as a conservative default.
+            from_initiator = True
+        if isinstance(packet, S1Packet):
+            channel = assoc.forward_channel if from_initiator else assoc.reverse_channel
+            return channel.on_s1(packet, wire_size)
+        if isinstance(packet, S2Packet):
+            channel = assoc.forward_channel if from_initiator else assoc.reverse_channel
+            return channel.on_s2(packet)
+        if isinstance(packet, A1Packet):
+            channel = assoc.reverse_channel if from_initiator else assoc.forward_channel
+            return channel.on_a1(packet)
+        if isinstance(packet, A2Packet):
+            channel = assoc.reverse_channel if from_initiator else assoc.forward_channel
+            return channel.on_a2(packet)
+        return RelayDecision(True, "handshake")
+
+    def _on_hs1(self, data: bytes, src: str) -> RelayDecision:
+        try:
+            packet = decode_packet(data, self._hash.digest_size)
+        except PacketError:
+            return RelayDecision(False, "malformed-hs1")
+        self._pending_hs1[packet.assoc_id] = (src, packet)
+        return RelayDecision(True, "hs1-observed")
+
+    def _on_hs2(self, data: bytes, src: str) -> RelayDecision:
+        try:
+            packet = decode_packet(data, self._hash.digest_size)
+        except PacketError:
+            return RelayDecision(False, "malformed-hs2")
+        pending = self._pending_hs1.get(packet.assoc_id)
+        if pending is None:
+            return RelayDecision(True, "hs2-without-hs1")
+        initiator, hs1 = pending
+        del self._pending_hs1[packet.assoc_id]
+        self.provision(
+            assoc_id=packet.assoc_id,
+            initiator=initiator,
+            responder=src,
+            initiator_sig_anchor=ChainElement(hs1.sig_chain_length, hs1.sig_anchor),
+            initiator_ack_anchor=ChainElement(hs1.ack_chain_length, hs1.ack_anchor),
+            responder_sig_anchor=ChainElement(packet.sig_chain_length, packet.sig_anchor),
+            responder_ack_anchor=ChainElement(packet.ack_chain_length, packet.ack_anchor),
+            hash_name=packet.hash_name,
+        )
+        return RelayDecision(True, "hs2-observed")
+
+    def _count(self, decision: RelayDecision) -> RelayDecision:
+        self.stats[decision.reason] = self.stats.get(decision.reason, 0) + 1
+        key = "forwarded" if decision.forward else "dropped"
+        self.stats[key] = self.stats.get(key, 0) + 1
+        return decision
+
+    def drain_extracted(self) -> list[ExtractedMessage]:
+        """Return and clear messages this relay verified in transit."""
+        messages, self.extracted = self.extracted, []
+        return messages
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total relay buffer footprint (Table 2's relay column)."""
+        return sum(
+            assoc.forward_channel.buffered_bytes + assoc.reverse_channel.buffered_bytes
+            for assoc in self._associations.values()
+        )
+
+    def association_count(self) -> int:
+        return len(self._associations)

@@ -1,0 +1,416 @@
+"""The signer's protocol engine (sans-IO).
+
+One :class:`SignerSession` drives one simplex channel: it owns the
+signature chain, runs the S1 → A1 → S2 (→ A2) exchange of paper
+Figures 2 and 3, and implements all three modes (base, ALPHA-C,
+ALPHA-M) plus the reliable-delivery machinery.
+
+Sans-IO contract: the session never touches the network. Callers submit
+messages, feed received packets into ``handle_a1`` / ``handle_a2``, and
+drain outgoing packets from ``poll(now)``. Time only enters through the
+``now`` arguments, so the engine runs identically under the discrete-
+event simulator, an in-memory pipe, or a real socket loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.acktree import AckOpening, verify_ack_opening
+from repro.core.exceptions import ProtocolError
+from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
+from repro.core.merkle import MerkleTree
+from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
+from repro.core.packets import A1Packet, A2Packet, S1Packet, S2Packet
+from repro.crypto.hashes import HashFunction
+
+#: Fixed strings distinguishing pre-acks from pre-nacks
+#: (paper Section 3.2.2: "e.g., 0 and 1").
+PRE_ACK_TAG = b"1"
+PRE_NACK_TAG = b"0"
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Tunables of one simplex channel."""
+
+    mode: Mode = Mode.BASE
+    reliability: ReliabilityMode = ReliabilityMode.UNRELIABLE
+    #: Messages per exchange for ALPHA-C / ALPHA-M (base mode is 1).
+    batch_size: int = 8
+    #: Merkle roots per S1 in combined C+M mode (Section 3.3.2, last
+    #: paragraph): more roots shrink every tree, trading S1 size for
+    #: shorter {Bc} paths in each S2.
+    trees_per_s1: int = 1
+    #: Concurrent S1/A1/S2 exchanges in flight. 1 is the paper's basic
+    #: strictly sequential scheme; the role binding "enables a signer to
+    #: send a new S1 packet immediately after receiving the A1 packet"
+    #: (Section 3.2.1), and pipelining takes that to its conclusion —
+    #: the next exchange starts while earlier ones still await their
+    #: S2 acks, hiding the interlock RTT.
+    max_outstanding: int = 1
+    retransmit_timeout_s: float = 0.25
+    max_retries: int = 6
+    retransmit_policy: RetransmitPolicy = RetransmitPolicy.SELECTIVE_REPEAT
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        if self.trees_per_s1 < 1:
+            raise ValueError("need at least one tree per S1")
+        if self.retransmit_timeout_s <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max retries must be non-negative")
+        if self.max_outstanding < 1:
+            raise ValueError("need at least one outstanding exchange")
+
+    @property
+    def effective_batch(self) -> int:
+        return 1 if self.mode is Mode.BASE else self.batch_size
+
+
+class ExchangeState(enum.Enum):
+    AWAIT_A1 = "await-a1"
+    AWAIT_A2 = "await-a2"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one submitted message (reliable channels only)."""
+
+    seq: int
+    msg_index: int
+    message: bytes
+    delivered: bool
+
+
+@dataclass
+class _Exchange:
+    seq: int
+    mode: Mode
+    reliable: bool
+    messages: list[bytes]
+    s1_element: ChainElement
+    key_element: ChainElement
+    s1_bytes: bytes
+    state: ExchangeState = ExchangeState.AWAIT_A1
+    trees: list[MerkleTree] = field(default_factory=list)
+    per_tree: int = 0
+    # Populated from the A1 packet.
+    pre_acks: list[bytes] = field(default_factory=list)
+    pre_nacks: list[bytes] = field(default_factory=list)
+    amt_root: bytes | None = None
+    a1_ack_element: ChainElement | None = None
+    # Reliability bookkeeping.
+    acked: set[int] = field(default_factory=set)
+    nacked: set[int] = field(default_factory=set)
+    s2_bytes: dict[int, bytes] = field(default_factory=dict)
+    deadline: float = 0.0
+    retries: int = 0
+    ack_key_element: ChainElement | None = None  # disclosed via A2
+
+
+class SignerSession:
+    """Signing side of one simplex ALPHA channel."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        sig_chain: HashChain,
+        ack_verifier: ChainVerifier,
+        config: ChannelConfig,
+        assoc_id: int,
+    ) -> None:
+        self._hash = hash_fn
+        self.chain = sig_chain
+        self.ack_verifier = ack_verifier
+        self.config = config
+        self.assoc_id = assoc_id
+        self._queue: deque[bytes] = deque()
+        self._exchanges: dict[int, _Exchange] = {}
+        self._next_seq = 1
+        self.reports: list[DeliveryReport] = []
+        self.exchanges_completed = 0
+        self.exchanges_failed = 0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return not self._exchanges and not self._queue
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def reconfigure(self, config: ChannelConfig) -> None:
+        """Switch mode/batching for *future* exchanges.
+
+        This is ALPHA's adaptivity: a host can move between base,
+        cumulative, and Merkle modes mid-association — e.g. grow batches
+        when a queue builds up — without touching its chains. The
+        exchange currently in flight is unaffected.
+        """
+        self.config = config
+
+    def submit(self, message: bytes) -> None:
+        """Queue one message for integrity-protected transmission."""
+        if not message:
+            raise ValueError(
+                "empty messages are reserved for Merkle padding leaves"
+            )
+        if len(message) > 0xFFFF:
+            raise ValueError("message exceeds the 64 KiB wire limit")
+        self._queue.append(message)
+
+    def poll(self, now: float) -> list[bytes]:
+        """Advance the engine; returns packets to put on the wire."""
+        out: list[bytes] = []
+        for exchange in list(self._exchanges.values()):
+            if now < exchange.deadline:
+                continue
+            if exchange.retries >= self.config.max_retries:
+                self._fail_exchange(exchange)
+                continue
+            exchange.retries += 1
+            exchange.deadline = now + self.config.retransmit_timeout_s
+            if exchange.state is ExchangeState.AWAIT_A1:
+                out.append(exchange.s1_bytes)
+            elif exchange.state is ExchangeState.AWAIT_A2:
+                out.extend(self._retransmit_s2(exchange))
+        while self._queue and len(self._exchanges) < self.config.max_outstanding:
+            out.append(self._start_exchange(now))
+        return out
+
+    def handle_a1(self, packet: A1Packet, now: float) -> list[bytes]:
+        """Process an A1; returns the S2 packets (possibly several)."""
+        exchange = self._exchanges.get(packet.seq)
+        if exchange is None:
+            return []  # stale or duplicate A1
+        if exchange.state is not ExchangeState.AWAIT_A1:
+            # Paper Section 3.2.2: discard pre-(n)acks in further A1
+            # packets once an S2 has been sent.
+            return []
+        if packet.ack_index % 2 == 0:
+            return []  # A1 tokens are odd-position ack-chain elements
+        ack_element = ChainElement(packet.ack_index, packet.ack_element)
+        if not self.ack_verifier.verify(ack_element):
+            # Pipelining: a later exchange's A1 may have overtaken this
+            # one; its genuine element was derived during that gap walk
+            # and is accepted exactly once (see consume_derived).
+            if not self.ack_verifier.consume_derived(ack_element):
+                return []  # forged or replayed A1
+        if packet.echo_sig_element != exchange.s1_element.value:
+            return []  # acknowledges someone else's S1
+        exchange.a1_ack_element = ack_element
+        if exchange.reliable:
+            exchange.pre_acks = list(packet.pre_acks)
+            exchange.pre_nacks = list(packet.pre_nacks)
+            exchange.amt_root = packet.amt_root
+        s2_packets = self._build_s2_packets(exchange)
+        if exchange.reliable:
+            exchange.state = ExchangeState.AWAIT_A2
+            exchange.retries = 0
+            exchange.deadline = now + self.config.retransmit_timeout_s
+        else:
+            self._complete_exchange(exchange, delivered=None)
+        return s2_packets
+
+    def handle_a2(self, packet: A2Packet, now: float) -> list[bytes]:
+        """Process an A2; may return S2 retransmissions for nacks."""
+        exchange = self._exchanges.get(packet.seq)
+        if exchange is None or exchange.state is not ExchangeState.AWAIT_A2:
+            return []
+        if packet.disclosed_index % 2:
+            return []  # A2 discloses even-position ack-chain elements
+        disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
+        if exchange.ack_key_element is None:
+            if not self.ack_verifier.verify_disclosure(disclosed):
+                return []
+            exchange.ack_key_element = disclosed
+        elif disclosed.value != exchange.ack_key_element.value:
+            return []
+        key = exchange.ack_key_element.value
+        for verdict in packet.verdicts:
+            if not 0 <= verdict.msg_index < len(exchange.messages):
+                continue
+            if not self._verify_verdict(exchange, key, verdict):
+                continue
+            if verdict.is_ack:
+                exchange.acked.add(verdict.msg_index)
+                exchange.nacked.discard(verdict.msg_index)
+            elif verdict.msg_index not in exchange.acked:
+                exchange.nacked.add(verdict.msg_index)
+        if len(exchange.acked) == len(exchange.messages):
+            self._complete_exchange(exchange, delivered=True)
+            return []
+        if exchange.nacked:
+            out = self._retransmit_s2(exchange, only=exchange.nacked)
+            exchange.nacked.clear()
+            exchange.deadline = now + self.config.retransmit_timeout_s
+            return out
+        return []
+
+    # -- internals -------------------------------------------------------------
+
+    def _start_exchange(self, now: float) -> bytes:
+        batch = self.config.effective_batch
+        messages = [self._queue.popleft() for _ in range(min(batch, len(self._queue)))]
+        s1_element, key_element = self.chain.next_exchange()
+        mode = self.config.mode
+        reliable = self.config.reliability is ReliabilityMode.RELIABLE
+        trees: list[MerkleTree] = []
+        per_tree = 0
+        if mode is Mode.MERKLE:
+            trees = [MerkleTree(self._hash, messages)]
+            per_tree = len(messages)
+            pre_signatures = [trees[0].root(key_element.value)]
+        elif mode is Mode.MERKLE_CUMULATIVE:
+            trees, per_tree = _build_tree_slices(
+                self._hash, messages, self.config.trees_per_s1
+            )
+            pre_signatures = [tree.root(key_element.value) for tree in trees]
+        else:
+            pre_signatures = [
+                self._hash.mac(key_element.value, message, label="pre-signature")
+                for message in messages
+            ]
+        seq = self._next_seq
+        self._next_seq += 1
+        s1 = S1Packet(
+            assoc_id=self.assoc_id,
+            seq=seq,
+            mode=mode,
+            chain_index=s1_element.index,
+            chain_element=s1_element.value,
+            pre_signatures=pre_signatures,
+            message_count=len(messages),
+            reliable=reliable,
+        )
+        s1_bytes = s1.encode()
+        self._exchanges[seq] = _Exchange(
+            seq=seq,
+            mode=mode,
+            reliable=reliable,
+            messages=messages,
+            s1_element=s1_element,
+            key_element=key_element,
+            s1_bytes=s1_bytes,
+            trees=trees,
+            per_tree=per_tree,
+            deadline=now + self.config.retransmit_timeout_s,
+        )
+        return s1_bytes
+
+    def _build_s2_packets(self, exchange: _Exchange) -> list[bytes]:
+        packets = []
+        for index, message in enumerate(exchange.messages):
+            if exchange.trees:
+                tree = exchange.trees[index // exchange.per_tree]
+                path = tree.path(index % exchange.per_tree)
+            else:
+                path = []
+            packet = S2Packet(
+                assoc_id=self.assoc_id,
+                seq=exchange.seq,
+                disclosed_index=exchange.key_element.index,
+                disclosed_element=exchange.key_element.value,
+                msg_index=index,
+                message=message,
+                auth_path=path,
+            )
+            encoded = packet.encode()
+            exchange.s2_bytes[index] = encoded
+            packets.append(encoded)
+        return packets
+
+    def _retransmit_s2(self, exchange: _Exchange, only: set[int] | None = None) -> list[bytes]:
+        pending = [
+            index
+            for index in range(len(exchange.messages))
+            if index not in exchange.acked and (only is None or index in only)
+        ]
+        if not pending:
+            return []
+        policy = self.config.retransmit_policy
+        if policy is RetransmitPolicy.STOP_AND_WAIT:
+            pending = pending[:1]
+        elif policy is RetransmitPolicy.GO_BACK_N:
+            pending = list(range(min(pending), len(exchange.messages)))
+            pending = [i for i in pending if i not in exchange.acked]
+        return [exchange.s2_bytes[index] for index in pending]
+
+    def _verify_verdict(self, exchange: _Exchange, key: bytes, verdict) -> bool:
+        if exchange.amt_root is not None:
+            opening = AckOpening(
+                msg_index=verdict.msg_index,
+                is_ack=verdict.is_ack,
+                secret=verdict.secret,
+                path=verdict.path,
+            )
+            return verify_ack_opening(
+                self._hash, opening, len(exchange.messages), key, exchange.amt_root
+            )
+        if verdict.msg_index >= len(exchange.pre_acks):
+            return False
+        tag = PRE_ACK_TAG if verdict.is_ack else PRE_NACK_TAG
+        expected = (
+            exchange.pre_acks[verdict.msg_index]
+            if verdict.is_ack
+            else exchange.pre_nacks[verdict.msg_index]
+        )
+        recomputed = self._hash.digest(
+            key + tag + verdict.secret, label="pre-ack-verify"
+        )
+        return recomputed == expected
+
+    def _complete_exchange(self, exchange: _Exchange, delivered: bool | None) -> None:
+        exchange.state = ExchangeState.DONE
+        self.exchanges_completed += 1
+        if delivered is not None:
+            for index, message in enumerate(exchange.messages):
+                self.reports.append(
+                    DeliveryReport(exchange.seq, index, message, delivered)
+                )
+        self._exchanges.pop(exchange.seq, None)
+
+    def _fail_exchange(self, exchange: _Exchange) -> None:
+        exchange.state = ExchangeState.FAILED
+        self.exchanges_failed += 1
+        for index, message in enumerate(exchange.messages):
+            delivered = index in exchange.acked
+            self.reports.append(
+                DeliveryReport(exchange.seq, index, message, delivered)
+            )
+        self._exchanges.pop(exchange.seq, None)
+
+    def drain_reports(self) -> list[DeliveryReport]:
+        """Return and clear accumulated delivery reports."""
+        reports, self.reports = self.reports, []
+        return reports
+
+
+def _build_tree_slices(
+    hash_fn, messages: list[bytes], trees_requested: int
+) -> tuple[list[MerkleTree], int]:
+    """Split a batch into one tree per slice for combined C+M mode.
+
+    Returns ``(trees, per_tree)`` where message ``j`` lives at leaf
+    ``j % per_tree`` of tree ``j // per_tree``. The receiver recovers
+    the same mapping from ``ceil(message_count / len(roots))``, so the
+    slicing must (and does) drop empty tails.
+    """
+    import math
+
+    k = min(max(trees_requested, 1), len(messages))
+    per_tree = math.ceil(len(messages) / k)
+    trees = []
+    for start in range(0, len(messages), per_tree):
+        trees.append(MerkleTree(hash_fn, messages[start : start + per_tree]))
+    return trees, per_tree

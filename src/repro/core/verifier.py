@@ -1,0 +1,298 @@
+"""The verifier's protocol engine (sans-IO).
+
+One :class:`VerifierSession` terminates one simplex channel: it owns the
+acknowledgment chain, answers S1 packets with A1 packets (buffering the
+pre-signatures), verifies disclosed S2 packets, delivers authentic
+messages to the application, and — on reliable channels — commits to and
+opens pre-(n)acks (paper Sections 3.1, 3.2.2, 3.3.3).
+
+Willingness: the paper lets receivers "explicitly state whether or not
+they are willing to receive data from a sender by providing or denying
+an A1 packet" (Section 3.5). The ``accept_policy`` callback implements
+that decision point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.acktree import AckTree
+from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
+from repro.core.merkle import verify_merkle_path
+from repro.core.modes import Mode
+from repro.core.packets import A1Packet, A2Packet, AckVerdict, S1Packet, S2Packet
+from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import HashFunction
+
+_SECRET_SIZE = 16
+
+
+@dataclass
+class DeliveredMessage:
+    """An authenticated message handed to the application."""
+
+    seq: int
+    msg_index: int
+    message: bytes
+
+
+@dataclass
+class _VerifierExchange:
+    seq: int
+    mode: Mode
+    reliable: bool
+    message_count: int
+    pre_signatures: list[bytes]
+    s1_element: ChainElement
+    a1_bytes: bytes = b""
+    ack_element: ChainElement | None = None
+    ack_key_element: ChainElement | None = None
+    key_value: bytes | None = None  # set once the first valid S2 discloses it
+    delivered: set[int] = field(default_factory=set)
+    ack_secrets: list[bytes] = field(default_factory=list)
+    nack_secrets: list[bytes] = field(default_factory=list)
+    amt: AckTree | None = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Pre-signature buffer footprint (Table 2's verifier column)."""
+        return sum(len(sig) for sig in self.pre_signatures)
+
+
+class VerifierSession:
+    """Verifying side of one simplex ALPHA channel."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        ack_chain: HashChain,
+        sig_verifier: ChainVerifier,
+        assoc_id: int,
+        rng: DRBG,
+        accept_policy: Callable[[S1Packet], bool] | None = None,
+        max_buffered_exchanges: int = 8,
+    ) -> None:
+        if max_buffered_exchanges < 1:
+            raise ValueError("need room for at least one exchange")
+        self._hash = hash_fn
+        self.ack_chain = ack_chain
+        self.sig_verifier = sig_verifier
+        self.assoc_id = assoc_id
+        self._rng = rng
+        self.accept_policy = accept_policy
+        self.max_buffered_exchanges = max_buffered_exchanges
+        self._exchanges: dict[int, _VerifierExchange] = {}
+        self.delivered: list[DeliveredMessage] = []
+        self.rejected_s1 = 0
+        self.rejected_s2 = 0
+        self.refused_s1 = 0
+
+    # -- packet handlers -------------------------------------------------------
+
+    def handle_s1(self, packet: S1Packet, now: float) -> bytes | None:
+        """Process an S1. Returns the A1 to send, or None to stay silent."""
+        existing = self._exchanges.get(packet.seq)
+        if existing is not None:
+            # Retransmitted S1: repeat the identical A1 (fresh secrets or
+            # chain elements would break the signer's bookkeeping).
+            return existing.a1_bytes or None
+        if packet.chain_index % 2 == 0:
+            # Role binding (Section 3.2.1): S1 identity tokens live at odd
+            # chain positions. An even-position element is a disclosed MAC
+            # key being replayed in the S1 role — the reformatting attack.
+            self.rejected_s1 += 1
+            return None
+        element = ChainElement(packet.chain_index, packet.chain_element)
+        if not self.sig_verifier.verify(element):
+            # A pipelining signer's later S1 may have overtaken this one;
+            # the derived-cache accepts the genuine element exactly once.
+            if not self.sig_verifier.consume_derived(element):
+                self.rejected_s1 += 1
+                return None
+        if self.accept_policy is not None and not self.accept_policy(packet):
+            # Unwilling: deny the A1 (paper Section 3.5). The chain
+            # element was still consumed, which is correct — it was
+            # genuinely disclosed on the wire.
+            self.refused_s1 += 1
+            return None
+        exchange = _VerifierExchange(
+            seq=packet.seq,
+            mode=packet.mode,
+            reliable=packet.reliable,
+            message_count=packet.message_count,
+            pre_signatures=list(packet.pre_signatures),
+            s1_element=element,
+        )
+        a1_element, ack_key = self.ack_chain.next_exchange()
+        exchange.ack_element = a1_element
+        exchange.ack_key_element = ack_key
+        pre_acks: list[bytes] = []
+        pre_nacks: list[bytes] = []
+        amt_root = None
+        if packet.reliable:
+            if packet.mode in (Mode.MERKLE, Mode.MERKLE_CUMULATIVE):
+                exchange.amt = AckTree(
+                    self._hash, packet.message_count, ack_key.value, self._rng
+                )
+                amt_root = exchange.amt.root
+            else:
+                for _ in range(packet.message_count):
+                    s_ack = self._rng.random_bytes(_SECRET_SIZE)
+                    s_nack = self._rng.random_bytes(_SECRET_SIZE)
+                    exchange.ack_secrets.append(s_ack)
+                    exchange.nack_secrets.append(s_nack)
+                    pre_acks.append(
+                        self._hash.digest(
+                            ack_key.value + PRE_ACK_TAG + s_ack, label="pre-ack"
+                        )
+                    )
+                    pre_nacks.append(
+                        self._hash.digest(
+                            ack_key.value + PRE_NACK_TAG + s_nack, label="pre-nack"
+                        )
+                    )
+        a1 = A1Packet(
+            assoc_id=self.assoc_id,
+            seq=packet.seq,
+            ack_index=a1_element.index,
+            ack_element=a1_element.value,
+            echo_sig_index=element.index,
+            echo_sig_element=element.value,
+            pre_acks=pre_acks,
+            pre_nacks=pre_nacks,
+            amt_root=amt_root,
+        )
+        exchange.a1_bytes = a1.encode()
+        self._remember(exchange)
+        return exchange.a1_bytes
+
+    def handle_s2(self, packet: S2Packet, now: float) -> bytes | None:
+        """Process an S2. Returns an A2 (reliable channels) or None."""
+        exchange = self._exchanges.get(packet.seq)
+        if exchange is None:
+            self.rejected_s2 += 1
+            return None
+        if not self._accept_key_disclosure(exchange, packet):
+            self.rejected_s2 += 1
+            return None
+        key = exchange.key_value
+        valid = self._verify_message(exchange, key, packet)
+        if valid and packet.msg_index not in exchange.delivered:
+            exchange.delivered.add(packet.msg_index)
+            self.delivered.append(
+                DeliveredMessage(packet.seq, packet.msg_index, packet.message)
+            )
+        if not valid:
+            self.rejected_s2 += 1
+        if not exchange.reliable:
+            return None
+        if not valid and exchange.delivered and packet.msg_index in exchange.delivered:
+            # Already acked this index with a genuine message; a later
+            # corrupted duplicate must not trigger a contradictory nack.
+            return None
+        return self._build_a2(exchange, packet.msg_index, valid)
+
+    # -- internals -------------------------------------------------------------
+
+    def _accept_key_disclosure(self, exchange: _VerifierExchange, packet: S2Packet) -> bool:
+        """Validate the disclosed MAC key against the chain."""
+        if exchange.key_value is not None:
+            return packet.disclosed_element == exchange.key_value
+        disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
+        if disclosed.index != exchange.s1_element.index - 1:
+            return False
+        if not self.sig_verifier.verify_disclosure(disclosed):
+            return False
+        exchange.key_value = disclosed.value
+        return True
+
+    def _verify_message(
+        self, exchange: _VerifierExchange, key: bytes, packet: S2Packet
+    ) -> bool:
+        if not 0 <= packet.msg_index < exchange.message_count:
+            return False
+        if exchange.mode in (Mode.MERKLE, Mode.MERKLE_CUMULATIVE):
+            if not packet.message:
+                return False  # padding leaves are not real messages
+            root, local_index = _locate_root(
+                exchange.pre_signatures, exchange.message_count, packet.msg_index
+            )
+            return verify_merkle_path(
+                self._hash,
+                packet.message,
+                local_index,
+                packet.auth_path,
+                key,
+                root,
+            )
+        recomputed = self._hash.mac(key, packet.message, label="s2-verify")
+        return recomputed == exchange.pre_signatures[packet.msg_index]
+
+    def _build_a2(
+        self, exchange: _VerifierExchange, msg_index: int, is_ack: bool
+    ) -> bytes | None:
+        if not 0 <= msg_index < exchange.message_count:
+            # A corrupted S2 claiming an index outside the exchange gets
+            # no (n)ack at all — there is no committed leaf for it.
+            return None
+        ack_key = exchange.ack_key_element
+        if ack_key is None:
+            return None
+        if exchange.amt is not None:
+            opening = exchange.amt.open(msg_index, is_ack)
+            verdict = AckVerdict(
+                msg_index=msg_index,
+                is_ack=is_ack,
+                secret=opening.secret,
+                path=opening.path,
+            )
+        else:
+            if msg_index >= len(exchange.ack_secrets):
+                return None
+            secret = (
+                exchange.ack_secrets[msg_index]
+                if is_ack
+                else exchange.nack_secrets[msg_index]
+            )
+            verdict = AckVerdict(msg_index=msg_index, is_ack=is_ack, secret=secret)
+        a2 = A2Packet(
+            assoc_id=self.assoc_id,
+            seq=exchange.seq,
+            disclosed_index=ack_key.index,
+            disclosed_element=ack_key.value,
+            verdicts=[verdict],
+        )
+        return a2.encode()
+
+    def _remember(self, exchange: _VerifierExchange) -> None:
+        self._exchanges[exchange.seq] = exchange
+        while len(self._exchanges) > self.max_buffered_exchanges:
+            oldest = min(self._exchanges)
+            del self._exchanges[oldest]
+
+    def drain_delivered(self) -> list[DeliveredMessage]:
+        """Return and clear messages authenticated since the last drain."""
+        messages, self.delivered = self.delivered, []
+        return messages
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total pre-signature buffer footprint across live exchanges."""
+        return sum(ex.buffered_bytes for ex in self._exchanges.values())
+
+
+def _locate_root(
+    roots: list[bytes], message_count: int, msg_index: int
+) -> tuple[bytes, int]:
+    """Map a global message index onto (tree root, local leaf index).
+
+    Single-root ALPHA-M degenerates to ``(roots[0], msg_index)``;
+    combined C+M slices the batch into ``ceil(count / len(roots))``
+    leaves per tree, mirroring the signer's slicing.
+    """
+    import math
+
+    per_tree = math.ceil(message_count / len(roots))
+    return roots[msg_index // per_tree], msg_index % per_tree

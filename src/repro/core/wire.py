@@ -1,0 +1,118 @@
+"""Binary codec helpers.
+
+Small, explicit big-endian writer/reader pair used by
+:mod:`repro.core.packets`. Variable-length fields are 16-bit
+length-prefixed; hash lists are 16-bit counted with a fixed element
+width. Reads validate bounds and raise
+:class:`~repro.core.exceptions.PacketError` on truncation so malformed
+network input can never surface as an :class:`IndexError`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.exceptions import PacketError
+
+
+class Writer:
+    """Append-only big-endian byte builder."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">B", value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">H", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">I", value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        self._parts.append(struct.pack(">Q", value))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        """Fixed-width field; the width is implied by the protocol."""
+        self._parts.append(data)
+        return self
+
+    def var_bytes(self, data: bytes) -> "Writer":
+        """16-bit length-prefixed byte string (max 65535 bytes)."""
+        if len(data) > 0xFFFF:
+            raise ValueError(f"var_bytes field too long: {len(data)}")
+        self.u16(len(data))
+        self._parts.append(data)
+        return self
+
+    def hash_list(self, hashes: list[bytes], width: int) -> "Writer":
+        """16-bit counted list of fixed-width hash values."""
+        if len(hashes) > 0xFFFF:
+            raise ValueError(f"hash list too long: {len(hashes)}")
+        self.u16(len(hashes))
+        for value in hashes:
+            if len(value) != width:
+                raise ValueError(
+                    f"hash width mismatch: expected {width}, got {len(value)}"
+                )
+            self._parts.append(value)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Bounds-checked big-endian byte consumer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._offset + n > len(self._data):
+            raise PacketError(
+                f"truncated packet: wanted {n} bytes at offset {self._offset}, "
+                f"have {len(self._data) - self._offset}"
+            )
+        chunk = self._data[self._offset : self._offset + n]
+        self._offset += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def var_bytes(self) -> bytes:
+        return self._take(self.u16())
+
+    def hash_list(self, width: int) -> list[bytes]:
+        count = self.u16()
+        return [self._take(width) for _ in range(count)]
+
+    def expect_end(self) -> None:
+        """Raise unless every byte has been consumed."""
+        if self._offset != len(self._data):
+            raise PacketError(
+                f"{len(self._data) - self._offset} trailing bytes after packet"
+            )
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset

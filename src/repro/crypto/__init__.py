@@ -1,0 +1,40 @@
+"""Cryptographic substrate for the ALPHA reproduction.
+
+Everything the protocol needs is implemented here from scratch or on top
+of :mod:`hashlib` primitives only:
+
+- :mod:`repro.crypto.drbg` — deterministic random byte generators so that
+  every simulation and test is reproducible from a seed.
+- :mod:`repro.crypto.hashes` — the hash front-end with built-in operation
+  counting (used to *measure* Table 1 of the paper rather than merely
+  recompute it).
+- :mod:`repro.crypto.mac` — an RFC 2104 HMAC implementation generic over
+  the hash functions of this package.
+- :mod:`repro.crypto.aes` — a pure-Python AES-128 block cipher.
+- :mod:`repro.crypto.mmo` — the Matyas–Meyer–Oseas hash built on AES-128,
+  as used by the paper's sensor-node evaluation (Section 4.1.3).
+- :mod:`repro.crypto.primes` — Miller–Rabin primality and prime generation.
+- :mod:`repro.crypto.rsa`, :mod:`repro.crypto.dsa`,
+  :mod:`repro.crypto.ecc` — public-key signatures used for protected
+  bootstrapping (Section 3.4) and as the paper's baselines in Table 4.
+"""
+
+from repro.crypto.drbg import DRBG, SystemRandomSource
+from repro.crypto.hashes import (
+    HashFunction,
+    OpCounter,
+    get_hash,
+    available_hashes,
+)
+from repro.crypto.mac import hmac_digest, HmacFunction
+
+__all__ = [
+    "DRBG",
+    "SystemRandomSource",
+    "HashFunction",
+    "OpCounter",
+    "get_hash",
+    "available_hashes",
+    "hmac_digest",
+    "HmacFunction",
+]

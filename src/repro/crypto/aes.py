@@ -1,0 +1,199 @@
+"""Pure-Python AES-128 block cipher.
+
+The paper's sensor-node evaluation computes the Matyas–Meyer–Oseas hash
+on top of the CC2430's AES-128 hardware (Section 4.1.3). Our substitute
+is this from-scratch software AES: the S-box and round constants are
+*derived* at import time from their algebraic definitions (GF(2^8)
+inversion plus the affine map) rather than transcribed, which removes an
+entire class of table typos.
+
+Only the raw block transform is exposed — ALPHA needs no block-cipher
+mode of operation, just single-block encryption for the MMO compression
+function. Decryption is included to allow round-trip testing against the
+FIPS-197 vectors.
+"""
+
+from __future__ import annotations
+
+_BLOCK_SIZE = 16
+_KEY_SIZE = 16
+_ROUNDS = 10
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Derive the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    exp[255] = exp[0]
+
+    def inverse(a: int) -> int:
+        if a == 0:
+            return 0
+        return exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for a in range(256):
+        x = inverse(a)
+        # Affine transformation: x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3)
+        # ^ rotl(x,4) ^ 0x63.
+        s = x
+        for shift in (1, 2, 3, 4):
+            s ^= ((x << shift) | (x >> (8 - shift))) & 0xFF
+        s ^= 0x63
+        sbox[a] = s
+        inv_sbox[s] = a
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = []
+_r = 1
+for _ in range(10):
+    _RCON.append(_r)
+    _r = _xtime(_r)
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != _KEY_SIZE:
+        raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(_ROUNDS + 1)]
+
+
+def _sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = _SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: list[int]) -> None:
+    for i in range(16):
+        state[i] = _INV_SBOX[state[i]]
+
+
+# State layout: state[4*c + r] is row r, column c (column-major, matching
+# the byte order of the input block).
+
+_SHIFT_ROWS_MAP = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+_INV_SHIFT_ROWS_MAP = [_SHIFT_ROWS_MAP.index(i) for i in range(16)]
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _SHIFT_ROWS_MAP]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[i] for i in _INV_SHIFT_ROWS_MAP]
+
+
+def _mix_columns(state: list[int]) -> None:
+    for c in range(4):
+        a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3
+        state[4 * c + 1] = a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3
+        state[4 * c + 2] = a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3)
+        state[4 * c + 3] = _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2)
+
+
+def _inv_mix_columns(state: list[int]) -> None:
+    for c in range(4):
+        a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = (
+            _gf_mul(a0, 14) ^ _gf_mul(a1, 11) ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9)
+        )
+        state[4 * c + 1] = (
+            _gf_mul(a0, 9) ^ _gf_mul(a1, 14) ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13)
+        )
+        state[4 * c + 2] = (
+            _gf_mul(a0, 13) ^ _gf_mul(a1, 9) ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11)
+        )
+        state[4 * c + 3] = (
+            _gf_mul(a0, 11) ^ _gf_mul(a1, 13) ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14)
+        )
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+class AES128:
+    """AES-128 with a fixed expanded key.
+
+    >>> cipher = AES128(bytes(range(16)))
+    >>> block = cipher.encrypt_block(b"\\x00" * 16)
+    >>> cipher.decrypt_block(block) == b"\\x00" * 16
+    True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != _BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[0])
+        for rnd in range(1, _ROUNDS):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[rnd])
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        _add_round_key(state, self._round_keys[_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != _BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[_ROUNDS])
+        for rnd in range(_ROUNDS - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[rnd])
+            _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def encrypt_block(key: bytes, block: bytes) -> bytes:
+    """One-shot single-block encryption (key schedule not cached)."""
+    return AES128(key).encrypt_block(block)

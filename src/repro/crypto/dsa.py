@@ -1,0 +1,136 @@
+"""DSA signatures from scratch.
+
+Reproduces the DSA-1024 rows of the paper's Table 4. Parameter
+generation (the expensive search for p ≡ 1 mod q) is decoupled from key
+generation so test suites can share one deterministic parameter set; a
+module-level cache provides the canonical (L=1024, N=160) group used by
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DRBG
+from repro.crypto.primes import generate_prime, generate_prime_congruent, invmod
+
+
+@dataclass(frozen=True)
+class DsaParameters:
+    """Domain parameters (p, q, g) shared by a community of signers."""
+
+    p: int
+    q: int
+    g: int
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+
+@dataclass(frozen=True)
+class DsaPublicKey:
+    parameters: DsaParameters
+    y: int
+
+
+@dataclass(frozen=True)
+class DsaPrivateKey:
+    parameters: DsaParameters
+    x: int
+    y: int
+
+    @property
+    def public_key(self) -> DsaPublicKey:
+        return DsaPublicKey(self.parameters, self.y)
+
+
+def generate_parameters(p_bits: int, q_bits: int, rng: DRBG) -> DsaParameters:
+    """Generate (p, q, g) with q | p-1 and g of order q."""
+    q = generate_prime(q_bits, rng)
+    p = generate_prime_congruent(p_bits, q, 1, rng)
+    exponent = (p - 1) // q
+    while True:
+        h = rng.random_range(2, p - 1)
+        g = pow(h, exponent, p)
+        if g > 1:
+            return DsaParameters(p=p, q=q, g=g)
+
+
+_CACHED_PARAMETERS: dict[tuple[int, int], DsaParameters] = {}
+
+
+def default_parameters(p_bits: int = 1024, q_bits: int = 160) -> DsaParameters:
+    """The canonical deterministic parameter set for this code base.
+
+    Generation of a fresh 1024-bit group costs seconds in pure Python;
+    benchmarks and tests share this cached, seed-fixed group instead.
+    """
+    key = (p_bits, q_bits)
+    if key not in _CACHED_PARAMETERS:
+        rng = DRBG(b"repro-dsa-parameters", personalization=f"{p_bits}/{q_bits}".encode())
+        _CACHED_PARAMETERS[key] = generate_parameters(p_bits, q_bits, rng)
+    return _CACHED_PARAMETERS[key]
+
+
+def generate_keypair(parameters: DsaParameters, rng: DRBG) -> DsaPrivateKey:
+    x = rng.random_range(1, parameters.q)
+    y = pow(parameters.g, x, parameters.p)
+    return DsaPrivateKey(parameters=parameters, x=x, y=y)
+
+
+def _digest_int(message: bytes, q: int) -> int:
+    digest = hashlib.sha256(message).digest()
+    # Leftmost q_bits of the digest, per FIPS 186 convention.
+    h = int.from_bytes(digest, "big")
+    extra = max(0, 8 * len(digest) - q.bit_length())
+    return h >> extra
+
+
+def sign(private_key: DsaPrivateKey, message: bytes, rng: DRBG) -> tuple[int, int]:
+    """Sign ``message``; returns the (r, s) pair."""
+    params = private_key.parameters
+    h = _digest_int(message, params.q)
+    while True:
+        k = rng.random_range(1, params.q)
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            continue
+        s = (invmod(k, params.q) * (h + private_key.x * r)) % params.q
+        if s == 0:
+            continue
+        return r, s
+
+
+def verify(public_key: DsaPublicKey, message: bytes, signature: tuple[int, int]) -> bool:
+    """Check an (r, s) signature over ``message``."""
+    params = public_key.parameters
+    r, s = signature
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False
+    h = _digest_int(message, params.q)
+    w = invmod(s, params.q)
+    u1 = (h * w) % params.q
+    u2 = (r * w) % params.q
+    v = ((pow(params.g, u1, params.p) * pow(public_key.y, u2, params.p)) % params.p) % params.q
+    return v == r
+
+
+def encode_signature(signature: tuple[int, int], q_bits: int = 160) -> bytes:
+    """Fixed-width big-endian encoding of (r, s) for the wire."""
+    width = (q_bits + 7) // 8
+    r, s = signature
+    return r.to_bytes(width, "big") + s.to_bytes(width, "big")
+
+
+def decode_signature(blob: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_signature`."""
+    if len(blob) % 2:
+        raise ValueError("signature blob must have even length")
+    width = len(blob) // 2
+    return int.from_bytes(blob[:width], "big"), int.from_bytes(blob[width:], "big")

@@ -1,0 +1,223 @@
+"""Elliptic-curve signatures (ECDSA) from scratch.
+
+The paper recommends ECC for protecting hash-chain anchors during
+bootstrapping (Section 3.4) and cites Gura et al.'s 160-bit ECC point
+multiplication cost on sensor hardware (Section 4.1.3). We implement
+generic short-Weierstrass group arithmetic plus ECDSA, instantiated with
+NIST P-256 (``P256``) for the bootstrap signatures.
+
+Point multiplication uses double-and-add over Jacobian coordinates to
+keep field inversions out of the hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DRBG
+from repro.crypto.primes import invmod
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Short Weierstrass curve y^2 = x^3 + ax + b over GF(p)."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int  # order of the base point
+
+    def contains(self, point: tuple[int, int] | None) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    @property
+    def generator(self) -> tuple[int, int]:
+        return (self.gx, self.gy)
+
+
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+
+# --- Jacobian-coordinate group law -----------------------------------------
+
+_INFINITY = None
+
+
+def _to_jacobian(point):
+    if point is None:
+        return (1, 1, 0)
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(curve: Curve, jp):
+    x, y, z = jp
+    if z == 0:
+        return None
+    z_inv = invmod(z, curve.p)
+    z2 = (z_inv * z_inv) % curve.p
+    return ((x * z2) % curve.p, (y * z2 * z_inv) % curve.p)
+
+
+def _jacobian_double(curve: Curve, jp):
+    x, y, z = jp
+    if z == 0 or y == 0:
+        return (1, 1, 0)
+    p = curve.p
+    ysq = (y * y) % p
+    s = (4 * x * ysq) % p
+    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = (2 * y * z) % p
+    return (nx, ny, nz)
+
+
+def _jacobian_add(curve: Curve, jp, jq):
+    if jp[2] == 0:
+        return jq
+    if jq[2] == 0:
+        return jp
+    p = curve.p
+    x1, y1, z1 = jp
+    x2, y2, z2 = jq
+    z1z1 = (z1 * z1) % p
+    z2z2 = (z2 * z2) % p
+    u1 = (x1 * z2z2) % p
+    u2 = (x2 * z1z1) % p
+    s1 = (y1 * z2 * z2z2) % p
+    s2 = (y2 * z1 * z1z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return (1, 1, 0)
+        return _jacobian_double(curve, jp)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    h2 = (h * h) % p
+    h3 = (h * h2) % p
+    u1h2 = (u1 * h2) % p
+    nx = (r * r - h3 - 2 * u1h2) % p
+    ny = (r * (u1h2 - nx) - s1 * h3) % p
+    nz = (h * z1 * z2) % p
+    return (nx, ny, nz)
+
+
+def point_add(curve: Curve, p1, p2):
+    """Affine point addition (handles the identity as ``None``)."""
+    return _from_jacobian(
+        curve, _jacobian_add(curve, _to_jacobian(p1), _to_jacobian(p2))
+    )
+
+
+def point_mul(curve: Curve, k: int, point):
+    """Scalar multiplication ``k * point`` (affine in, affine out)."""
+    if point is None or k % curve.n == 0:
+        return None
+    k %= curve.n
+    result = (1, 1, 0)
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(curve, result, addend)
+        addend = _jacobian_double(curve, addend)
+        k >>= 1
+    return _from_jacobian(curve, result)
+
+
+# --- ECDSA ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EcdsaPublicKey:
+    curve: Curve
+    point: tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EcdsaPrivateKey:
+    curve: Curve
+    d: int
+    point: tuple[int, int]
+
+    @property
+    def public_key(self) -> EcdsaPublicKey:
+        return EcdsaPublicKey(self.curve, self.point)
+
+
+def generate_keypair(curve: Curve, rng: DRBG) -> EcdsaPrivateKey:
+    d = rng.random_range(1, curve.n)
+    return EcdsaPrivateKey(curve=curve, d=d, point=point_mul(curve, d, curve.generator))
+
+
+def _digest_int(message: bytes, n: int) -> int:
+    digest = hashlib.sha256(message).digest()
+    h = int.from_bytes(digest, "big")
+    extra = max(0, 8 * len(digest) - n.bit_length())
+    return h >> extra
+
+
+def sign(private_key: EcdsaPrivateKey, message: bytes, rng: DRBG) -> tuple[int, int]:
+    """ECDSA signature (r, s) over ``message``."""
+    curve = private_key.curve
+    e = _digest_int(message, curve.n)
+    while True:
+        k = rng.random_range(1, curve.n)
+        point = point_mul(curve, k, curve.generator)
+        r = point[0] % curve.n
+        if r == 0:
+            continue
+        s = (invmod(k, curve.n) * (e + r * private_key.d)) % curve.n
+        if s == 0:
+            continue
+        return r, s
+
+
+def verify(public_key: EcdsaPublicKey, message: bytes, signature: tuple[int, int]) -> bool:
+    """Check an ECDSA (r, s) signature."""
+    curve = public_key.curve
+    r, s = signature
+    if not (0 < r < curve.n and 0 < s < curve.n):
+        return False
+    if not curve.contains(public_key.point):
+        return False
+    e = _digest_int(message, curve.n)
+    w = invmod(s, curve.n)
+    u1 = (e * w) % curve.n
+    u2 = (r * w) % curve.n
+    point = point_add(
+        curve,
+        point_mul(curve, u1, curve.generator),
+        point_mul(curve, u2, public_key.point),
+    )
+    if point is None:
+        return False
+    return point[0] % curve.n == r
+
+
+def encode_signature(curve: Curve, signature: tuple[int, int]) -> bytes:
+    """Fixed-width big-endian encoding of (r, s)."""
+    width = (curve.n.bit_length() + 7) // 8
+    r, s = signature
+    return r.to_bytes(width, "big") + s.to_bytes(width, "big")
+
+
+def decode_signature(blob: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_signature`."""
+    if len(blob) % 2:
+        raise ValueError("signature blob must have even length")
+    width = len(blob) // 2
+    return int.from_bytes(blob[:width], "big"), int.from_bytes(blob[width:], "big")

@@ -1,0 +1,60 @@
+"""Matyas–Meyer–Oseas hash over AES-128.
+
+The paper's WSN evaluation (Section 4.1.3) uses "the Matyas-Meyer-Oseas
+(MMO) hash function [13]" computed with the CC2430's AES-128 hardware.
+MMO turns a block cipher E into a compression function:
+
+    H_i = E_{g(H_{i-1})}(m_i) XOR m_i
+
+with ``g`` mapping the previous digest to a cipher key (identity here,
+since digest and key are both 16 bytes) and a fixed, public IV. We add
+Merkle–Damgård strengthening (10* padding plus a 64-bit length field) so
+the construction is a proper variable-input-length hash.
+
+Digest size is 16 bytes — the value the paper's WSN arithmetic assumes
+for chain elements and MACs.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+DIGEST_SIZE = 16
+_BLOCK = 16
+_IV = bytes.fromhex("06a9214036b8a15b512e03d534120006")
+
+
+def _pad(data: bytes) -> bytes:
+    """Merkle–Damgård strengthening: 0x80, zeros, 64-bit bit length."""
+    bit_length = len(data) * 8
+    padded = data + b"\x80"
+    while (len(padded) + 8) % _BLOCK:
+        padded += b"\x00"
+    return padded + bit_length.to_bytes(8, "big")
+
+
+def mmo_digest(data: bytes, iv: bytes = _IV) -> bytes:
+    """Hash ``data`` with MMO-AES-128.
+
+    >>> len(mmo_digest(b"hello"))
+    16
+    """
+    if len(iv) != DIGEST_SIZE:
+        raise ValueError(f"IV must be {DIGEST_SIZE} bytes, got {len(iv)}")
+    state = iv
+    padded = _pad(data)
+    for offset in range(0, len(padded), _BLOCK):
+        block = padded[offset : offset + _BLOCK]
+        encrypted = AES128(state).encrypt_block(block)
+        state = bytes(e ^ m for e, m in zip(encrypted, block))
+    return state
+
+
+def mmo_blocks(data_len: int) -> int:
+    """Number of AES calls needed to hash ``data_len`` bytes.
+
+    Useful for cost models: the CC2430 profile charges per block-cipher
+    invocation, mirroring the paper's measured 0.78 ms for a 16-byte
+    input and 2.01 ms for an 84-byte input.
+    """
+    return (data_len + 1 + 8 + _BLOCK - 1) // _BLOCK

@@ -1,0 +1,81 @@
+"""Pure-Python SHA-1.
+
+The paper's default hash is SHA-1. The rest of this code base uses
+:mod:`hashlib`'s C implementation for speed, but a from-scratch
+implementation belongs in the substrate for three reasons: it completes
+the no-external-crypto story, it documents exactly what the protocol
+depends on, and it gives the test suite an independent cross-check of
+every SHA-1 value (the two implementations validate each other on
+random inputs).
+
+Registered with the hash front-end as ``"sha1p"`` (20-byte digests,
+truncatable like the others).
+
+Note: SHA-1 is cryptographically broken for collision resistance today;
+this reproduction keeps it because the paper's arithmetic (20-byte
+elements) is built on it. Production users should instantiate ALPHA
+with ``"sha256"``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+DIGEST_SIZE = 20
+_BLOCK = 64
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def sha1_digest(data: bytes) -> bytes:
+    """Compute the SHA-1 digest of ``data`` (FIPS 180-4)."""
+    h0, h1, h2, h3, h4 = (
+        0x67452301,
+        0xEFCDAB89,
+        0x98BADCFE,
+        0x10325476,
+        0xC3D2E1F0,
+    )
+
+    # Padding: 0x80, zeros, 64-bit big-endian bit length.
+    bit_length = len(data) * 8
+    padded = data + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % _BLOCK) % _BLOCK)
+    padded += struct.pack(">Q", bit_length)
+
+    for offset in range(0, len(padded), _BLOCK):
+        block = padded[offset : offset + _BLOCK]
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_left_rotate(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+
+        a, b, c, d, e = h0, h1, h2, h3, h4
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | ((~b) & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_left_rotate(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e = d
+            d = c
+            c = _left_rotate(b, 30)
+            b = a
+            a = temp
+
+        h0 = (h0 + a) & 0xFFFFFFFF
+        h1 = (h1 + b) & 0xFFFFFFFF
+        h2 = (h2 + c) & 0xFFFFFFFF
+        h3 = (h3 + d) & 0xFFFFFFFF
+        h4 = (h4 + e) & 0xFFFFFFFF
+
+    return struct.pack(">5I", h0, h1, h2, h3, h4)

@@ -1,0 +1,210 @@
+"""Uniform public-key signature interface.
+
+Protected bootstrapping (paper Section 3.4) signs hash-chain anchors
+with "RSA, DSA, and Elliptic Curve Cryptography (ECC)". This module
+wraps the three from-scratch implementations behind one byte-oriented
+interface so the handshake code and the Table 4 benchmarks can switch
+schemes by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.crypto import dsa, ecc, rsa
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import OpCounter
+
+
+def _pack_ints(tag: str, values: list[int]) -> bytes:
+    """Length-prefixed big-endian integer blob with a scheme tag."""
+    parts = [len(tag).to_bytes(1, "big"), tag.encode("ascii")]
+    for value in values:
+        encoded = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        parts.append(len(encoded).to_bytes(2, "big"))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def _unpack_ints(blob: bytes) -> tuple[str, list[int]]:
+    """Inverse of :func:`_pack_ints`; raises ValueError on malformed input."""
+    if not blob:
+        raise ValueError("empty public key blob")
+    tag_len = blob[0]
+    offset = 1 + tag_len
+    if offset > len(blob):
+        raise ValueError("truncated public key blob")
+    tag = blob[1:offset].decode("ascii")
+    values = []
+    while offset < len(blob):
+        if offset + 2 > len(blob):
+            raise ValueError("truncated public key blob")
+        width = int.from_bytes(blob[offset : offset + 2], "big")
+        offset += 2
+        if offset + width > len(blob):
+            raise ValueError("truncated public key blob")
+        values.append(int.from_bytes(blob[offset : offset + width], "big"))
+        offset += width
+    return tag, values
+
+
+class SignatureScheme(Protocol):
+    """What the bootstrap layer requires from a signature scheme."""
+
+    name: str
+
+    def sign(self, message: bytes) -> bytes: ...
+
+    def verify(self, message: bytes, signature: bytes) -> bool: ...
+
+    def public_blob(self) -> bytes: ...
+
+
+@dataclass
+class RsaScheme:
+    """RSA signatures (default 1024-bit modulus, as in Table 4)."""
+
+    private_key: rsa.RsaPrivateKey
+    counter: OpCounter | None = None
+    name: str = "rsa-1024"
+
+    @classmethod
+    def generate(cls, rng: DRBG, bits: int = 1024, counter: OpCounter | None = None) -> "RsaScheme":
+        return cls(rsa.generate_keypair(bits, rng), counter, name=f"rsa-{bits}")
+
+    def sign(self, message: bytes) -> bytes:
+        if self.counter is not None:
+            self.counter.record_pk_sign()
+        return rsa.sign(self.private_key, message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        if self.counter is not None:
+            self.counter.record_pk_verify()
+        return rsa.verify(self.private_key.public_key, message, signature)
+
+    def public_blob(self) -> bytes:
+        pub = self.private_key.public_key
+        return _pack_ints("rsa", [pub.n, pub.e])
+
+
+@dataclass
+class DsaScheme:
+    """DSA signatures over the cached deterministic 1024/160 group."""
+
+    private_key: dsa.DsaPrivateKey
+    rng: DRBG
+    counter: OpCounter | None = None
+    name: str = "dsa-1024"
+
+    @classmethod
+    def generate(
+        cls,
+        rng: DRBG,
+        parameters: dsa.DsaParameters | None = None,
+        counter: OpCounter | None = None,
+    ) -> "DsaScheme":
+        if parameters is None:
+            parameters = dsa.default_parameters()
+        key = dsa.generate_keypair(parameters, rng)
+        return cls(key, rng.fork(b"dsa-nonces"), counter, name=f"dsa-{parameters.p_bits}")
+
+    def sign(self, message: bytes) -> bytes:
+        if self.counter is not None:
+            self.counter.record_pk_sign()
+        sig = dsa.sign(self.private_key, message, self.rng)
+        return dsa.encode_signature(sig, self.private_key.parameters.q_bits)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        if self.counter is not None:
+            self.counter.record_pk_verify()
+        try:
+            decoded = dsa.decode_signature(signature)
+        except ValueError:
+            return False
+        return dsa.verify(self.private_key.public_key, message, decoded)
+
+    def public_blob(self) -> bytes:
+        params = self.private_key.parameters
+        return _pack_ints(
+            "dsa", [params.p, params.q, params.g, self.private_key.y]
+        )
+
+
+@dataclass
+class EcdsaScheme:
+    """ECDSA over NIST P-256."""
+
+    private_key: ecc.EcdsaPrivateKey
+    rng: DRBG
+    counter: OpCounter | None = None
+    name: str = "ecdsa-p256"
+
+    @classmethod
+    def generate(
+        cls,
+        rng: DRBG,
+        curve: ecc.Curve = ecc.P256,
+        counter: OpCounter | None = None,
+    ) -> "EcdsaScheme":
+        key = ecc.generate_keypair(curve, rng)
+        return cls(key, rng.fork(b"ecdsa-nonces"), counter, name=f"ecdsa-{curve.name}")
+
+    def sign(self, message: bytes) -> bytes:
+        if self.counter is not None:
+            self.counter.record_pk_sign()
+        sig = ecc.sign(self.private_key, message, self.rng)
+        return ecc.encode_signature(self.private_key.curve, sig)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        if self.counter is not None:
+            self.counter.record_pk_verify()
+        try:
+            decoded = ecc.decode_signature(signature)
+        except ValueError:
+            return False
+        return ecc.verify(self.private_key.public_key, message, decoded)
+
+    def public_blob(self) -> bytes:
+        x, y = self.private_key.point
+        return _pack_ints("ecdsa", [x, y])
+
+
+_SCHEME_FACTORIES = {
+    "rsa": RsaScheme.generate,
+    "dsa": DsaScheme.generate,
+    "ecdsa": EcdsaScheme.generate,
+}
+
+
+def generate_scheme(name: str, rng: DRBG, counter: OpCounter | None = None) -> SignatureScheme:
+    """Instantiate a signature scheme by short name (rsa/dsa/ecdsa)."""
+    if name not in _SCHEME_FACTORIES:
+        raise ValueError(f"unknown signature scheme {name!r}; choose from {sorted(_SCHEME_FACTORIES)}")
+    return _SCHEME_FACTORIES[name](rng, counter=counter)
+
+
+def verify_public_blob(public_blob: bytes, message: bytes, signature: bytes) -> bool:
+    """Verify a signature given only a peer's public-key blob.
+
+    This is what relays and handshake responders use: they hold no
+    private material and reconstruct the public key from the blob the
+    handshake carried. Unknown or malformed blobs verify as False.
+    """
+    try:
+        tag, values = _unpack_ints(public_blob)
+    except ValueError:
+        return False
+    try:
+        if tag == "rsa" and len(values) == 2:
+            return rsa.verify(rsa.RsaPublicKey(n=values[0], e=values[1]), message, signature)
+        if tag == "dsa" and len(values) == 4:
+            p, q, g, y = values
+            key = dsa.DsaPublicKey(dsa.DsaParameters(p=p, q=q, g=g), y)
+            return dsa.verify(key, message, dsa.decode_signature(signature))
+        if tag == "ecdsa" and len(values) == 2:
+            key = ecc.EcdsaPublicKey(ecc.P256, (values[0], values[1]))
+            return ecc.verify(key, message, ecc.decode_signature(signature))
+    except (ValueError, ZeroDivisionError):
+        return False
+    return False

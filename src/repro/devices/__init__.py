@@ -1,0 +1,29 @@
+"""Hardware cost models for the paper's evaluation platforms.
+
+The paper measures cryptographic primitives on seven platforms (Nokia
+770, a Xeon server, three mesh-router CPUs, the AquisGrain sensor node,
+and — via Gura et al. — an ATmega128). We cannot run on that hardware,
+so :mod:`repro.devices.profiles` encodes the paper's published per-
+operation costs as linear cost models, and the analysis/benchmark layers
+map protocol work onto simulated time through them. The same interface
+can also be calibrated from timings measured on the host running this
+code, which is how the benches show both "paper constants" and "this
+machine" columns.
+"""
+
+from repro.devices.profiles import (
+    DeviceProfile,
+    PROFILES,
+    get_profile,
+    host_calibrated_profile,
+)
+from repro.devices.energy import EnergyModel, SENSOR_ENERGY
+
+__all__ = [
+    "DeviceProfile",
+    "PROFILES",
+    "get_profile",
+    "host_calibrated_profile",
+    "EnergyModel",
+    "SENSOR_ENERGY",
+]

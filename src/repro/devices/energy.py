@@ -1,0 +1,57 @@
+"""Energy accounting for constrained nodes.
+
+The paper motivates ALPHA with energy-constrained devices and evaluates
+"transferred bytes per signed byte" (Figure 6) because radio bytes cost
+energy. This model turns a protocol run's byte and CPU tallies into
+joules. The radio constants are typical published figures for an IEEE
+802.15.4 transceiver of the CC2420/CC2430 class; they are synthetic
+stand-ins (DESIGN.md, substitution table) — the *relative* cost of the
+ALPHA modes is what the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Joule costs for radio and CPU activity."""
+
+    name: str
+    tx_j_per_byte: float
+    rx_j_per_byte: float
+    cpu_j_per_second: float
+
+    def radio_energy(self, tx_bytes: int, rx_bytes: int = 0) -> float:
+        """Energy spent transmitting and receiving the given byte counts."""
+        if tx_bytes < 0 or rx_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        return tx_bytes * self.tx_j_per_byte + rx_bytes * self.rx_j_per_byte
+
+    def cpu_energy(self, busy_seconds: float) -> float:
+        """Energy spent in ``busy_seconds`` of active CPU time."""
+        if busy_seconds < 0:
+            raise ValueError("busy time must be non-negative")
+        return busy_seconds * self.cpu_j_per_second
+
+    def total(self, tx_bytes: int, rx_bytes: int, busy_seconds: float) -> float:
+        return self.radio_energy(tx_bytes, rx_bytes) + self.cpu_energy(busy_seconds)
+
+
+#: 802.15.4-class radio (CC2420/CC2430 ballpark): ~0.6 uJ/byte TX at 0 dBm,
+#: ~0.67 uJ/byte RX, ~24 mW active CPU (8 mA @ 3 V).
+SENSOR_ENERGY = EnergyModel(
+    name="sensor-802.15.4",
+    tx_j_per_byte=0.60e-6,
+    rx_j_per_byte=0.67e-6,
+    cpu_j_per_second=24e-3,
+)
+
+#: 802.11 mesh-router class: higher absolute power but vastly higher rates.
+MESH_ENERGY = EnergyModel(
+    name="mesh-802.11",
+    tx_j_per_byte=0.22e-6,
+    rx_j_per_byte=0.18e-6,
+    cpu_j_per_second=1.5,
+)

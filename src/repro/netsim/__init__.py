@@ -1,0 +1,31 @@
+"""Deterministic discrete-event network simulator.
+
+The paper evaluates ALPHA on real wireless testbeds (Nokia 770 + Xeon,
+commodity mesh routers, AquisGrain sensor nodes). Our substitute is this
+simulator: a classic event-queue core (:mod:`repro.netsim.simulator`),
+point-to-point links with latency, jitter, loss, and serialization delay
+(:mod:`repro.netsim.link`), nodes with forwarding and protocol hooks
+(:mod:`repro.netsim.node`), and topology builders on top of networkx
+(:mod:`repro.netsim.network`).
+
+Everything is seeded: two runs with the same seed produce byte-identical
+packet sequences, which keeps the protocol benchmarks reviewable.
+"""
+
+from repro.netsim.simulator import Simulator, Event
+from repro.netsim.packet import Frame
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.node import Node
+from repro.netsim.network import Network
+from repro.netsim.trace import TraceCollector
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Frame",
+    "Link",
+    "LinkConfig",
+    "Node",
+    "Network",
+    "TraceCollector",
+]

@@ -1,0 +1,130 @@
+"""Point-to-point links with latency, jitter, loss, and bandwidth.
+
+Models a single-hop wireless link abstractly: a frame experiences a
+serialization delay (size / bandwidth) during which the sender's side of
+the link is busy, then a propagation delay (latency plus uniform jitter),
+and is lost with a fixed probability. This is deliberately simpler than
+a CSMA/CA model; DESIGN.md records the substitution — the protocol
+behaviour ALPHA's evaluation depends on (RTT, loss, reordering via
+jitter, per-hop forwarding cost) is all expressed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DRBG
+from repro.netsim.packet import Frame
+from repro.netsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Parameters of one link direction.
+
+    latency_s:
+        One-way propagation delay in seconds.
+    jitter_s:
+        Maximum extra delay; each frame draws uniformly from [0, jitter].
+    loss_rate:
+        Probability that a frame is dropped in transit.
+    bandwidth_bps:
+        Serialization rate in bits per second; ``None`` means infinite
+        (no queueing delay).
+    """
+
+    latency_s: float = 0.005
+    jitter_s: float = 0.0
+    loss_rate: float = 0.0
+    bandwidth_bps: float | None = 54_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+# Preset profiles roughly matching the paper's three scenario classes.
+WLAN_LINK = LinkConfig(latency_s=0.002, jitter_s=0.001, bandwidth_bps=54_000_000.0)
+MESH_LINK = LinkConfig(latency_s=0.004, jitter_s=0.002, bandwidth_bps=20_000_000.0)
+SENSOR_LINK = LinkConfig(latency_s=0.010, jitter_s=0.005, bandwidth_bps=250_000.0)
+
+
+class Link:
+    """A duplex link between two nodes.
+
+    Each direction has its own busy-until bookkeeping (FIFO serialization
+    queue) and draws loss/jitter from a link-local DRBG, so simulations
+    stay deterministic under topology changes elsewhere.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node_a: "Node",
+        node_b: "Node",
+        config: LinkConfig = LinkConfig(),
+        rng: DRBG | None = None,
+    ) -> None:
+        from repro.netsim.node import Node  # circular-import guard
+
+        if not isinstance(node_a, Node) or not isinstance(node_b, Node):
+            raise TypeError("links connect Node instances")
+        if node_a is node_b:
+            raise ValueError("cannot link a node to itself")
+        self.simulator = simulator
+        self.config = config
+        self.endpoints = (node_a, node_b)
+        self.rng = rng if rng is not None else DRBG(f"link:{node_a.name}|{node_b.name}")
+        self._busy_until = {node_a.name: 0.0, node_b.name: 0.0}
+        self.frames_sent = 0
+        self.frames_lost = 0
+        self.bytes_sent = 0
+        #: Administratively up; a failed link silently drops every frame
+        #: (radio gone — no error signal, as on a real wireless link).
+        self.up = True
+        node_a.attach_link(self)
+        node_b.attach_link(self)
+
+    def other(self, node: "Node") -> "Node":
+        """The peer of ``node`` on this link."""
+        a, b = self.endpoints
+        if node is a:
+            return b
+        if node is b:
+            return a
+        raise ValueError(f"{node.name} is not an endpoint of this link")
+
+    def transmit(self, frame: Frame, sender: "Node") -> None:
+        """Send ``frame`` from ``sender`` towards the other endpoint."""
+        receiver = self.other(sender)
+        if not self.up:
+            self.frames_lost += 1
+            return
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+
+        if self.config.bandwidth_bps is not None:
+            serialization = frame.size * 8 / self.config.bandwidth_bps
+        else:
+            serialization = 0.0
+        start = max(self.simulator.now, self._busy_until[sender.name])
+        done_sending = start + serialization
+        self._busy_until[sender.name] = done_sending
+
+        if self.config.loss_rate and self.rng.uniform() < self.config.loss_rate:
+            self.frames_lost += 1
+            return
+
+        delay = self.config.latency_s
+        if self.config.jitter_s:
+            delay += self.rng.uniform(0.0, self.config.jitter_s)
+        arrival = done_sending + delay
+        self.simulator.schedule_at(arrival, receiver.receive, frame, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        a, b = self.endpoints
+        return f"Link({a.name}<->{b.name})"

@@ -1,0 +1,206 @@
+"""Topology construction and routing.
+
+Builds the multi-hop topologies the paper's scenarios imply — a linear
+protected path (Figure 1), mesh grids (WMN), and random connected graphs
+(MANET/WSN) — and installs static shortest-path routes computed with
+networkx. Routes are static by default, matching the paper's requirement
+that "the set of relaying nodes [be kept] static throughout the use of a
+hash chain" (Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.crypto.drbg import DRBG
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+
+
+class Network:
+    """A simulator plus named nodes, links, and routing."""
+
+    def __init__(self, simulator: Simulator | None = None, seed: int | str = 0) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self.rng = DRBG(seed, personalization=b"network")
+        self._graph = nx.Graph()
+
+    def add_node(self, name: str) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self.simulator, name)
+        self.nodes[name] = node
+        self._graph.add_node(name)
+        return node
+
+    def connect(self, a: str, b: str, config: LinkConfig = LinkConfig()) -> Link:
+        """Create a duplex link between named nodes."""
+        link = Link(
+            self.simulator,
+            self.nodes[a],
+            self.nodes[b],
+            config,
+            rng=self.rng.fork(f"link:{a}|{b}"),
+        )
+        self.links.append(link)
+        # A tiny unique per-edge epsilon makes shortest paths unique, and
+        # a unique shortest path in an undirected graph is necessarily
+        # the same in both directions. ALPHA requires this route
+        # symmetry: its protected path (paper Figure 1) must carry the
+        # S/A packets of one association over the same relays.
+        epsilon = (len(self.links) + self.rng.uniform(0.0, 0.5)) * 1e-9
+        self._graph.add_edge(a, b, weight=config.latency_s + epsilon, link=link)
+        return link
+
+    def compute_routes(self) -> None:
+        """Install static next-hop routes from all-pairs shortest paths."""
+        paths = dict(nx.all_pairs_dijkstra_path(self._graph))
+        for src, destinations in paths.items():
+            node = self.nodes[src]
+            for dst, path in destinations.items():
+                if dst == src or len(path) < 2:
+                    continue
+                next_hop = path[1]
+                node.set_route(dst, self._graph.edges[src, next_hop]["link"])
+
+    def fail_link(self, a: str, b: str, reroute: bool = True) -> None:
+        """Take the a—b link down (silent radio loss) and reroute.
+
+        The paper notes ALPHA "depends on the stability of the routing
+        path for a minimum of 2 RTTs"; this is the event that violates
+        it. With ``reroute`` the remaining graph is re-solved — relays
+        on the new path have no association state and judge traffic per
+        their ``forward_unknown``/``strict`` policy.
+        """
+        if not self._graph.has_edge(a, b):
+            raise LookupError(f"no link between {a} and {b}")
+        self._graph.edges[a, b]["link"].up = False
+        self._graph.remove_edge(a, b)
+        if reroute:
+            self._reroute()
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a previously failed link back and reroute."""
+        for link in self.links:
+            names = {n.name for n in link.endpoints}
+            if names == {a, b}:
+                link.up = True
+                epsilon = (self.links.index(link) + 1) * 1e-9
+                self._graph.add_edge(
+                    a, b, weight=link.config.latency_s + epsilon, link=link
+                )
+                self._reroute()
+                return
+        raise LookupError(f"no link between {a} and {b}")
+
+    def _reroute(self) -> None:
+        for node in self.nodes.values():
+            node.routes.clear()
+        self.compute_routes()
+
+    def path(self, a: str, b: str) -> list[str]:
+        """Node names along the current route from ``a`` to ``b``."""
+        return nx.dijkstra_path(self._graph, a, b)
+
+    def relays_between(self, a: str, b: str) -> list[Node]:
+        """The forwarding nodes on the route from ``a`` to ``b``."""
+        return [self.nodes[name] for name in self.path(a, b)[1:-1]]
+
+    # -- topology builders ---------------------------------------------------
+
+    @classmethod
+    def chain(
+        cls,
+        hops: int,
+        config: LinkConfig = LinkConfig(),
+        seed: int | str = 0,
+        names: list[str] | None = None,
+    ) -> "Network":
+        """A linear path with ``hops`` links (``hops + 1`` nodes).
+
+        Mirrors the paper's Figure 1: a signer, a verifier, and
+        ``hops - 1`` relays in between. Default names are ``s``,
+        ``r1..rk``, ``v``.
+        """
+        if hops < 1:
+            raise ValueError("a chain needs at least one hop")
+        net = cls(seed=seed)
+        if names is None:
+            names = ["s"] + [f"r{i}" for i in range(1, hops)] + ["v"]
+        if len(names) != hops + 1:
+            raise ValueError(f"need {hops + 1} names, got {len(names)}")
+        for name in names:
+            net.add_node(name)
+        for left, right in zip(names, names[1:]):
+            net.connect(left, right, config)
+        net.compute_routes()
+        return net
+
+    @classmethod
+    def grid(
+        cls,
+        width: int,
+        height: int,
+        config: LinkConfig = LinkConfig(),
+        seed: int | str = 0,
+    ) -> "Network":
+        """A ``width × height`` mesh grid named ``n<x>_<y>``."""
+        if width < 1 or height < 1:
+            raise ValueError("grid dimensions must be positive")
+        net = cls(seed=seed)
+        for x in range(width):
+            for y in range(height):
+                net.add_node(f"n{x}_{y}")
+        for x in range(width):
+            for y in range(height):
+                if x + 1 < width:
+                    net.connect(f"n{x}_{y}", f"n{x + 1}_{y}", config)
+                if y + 1 < height:
+                    net.connect(f"n{x}_{y}", f"n{x}_{y + 1}", config)
+        net.compute_routes()
+        return net
+
+    @classmethod
+    def random_mesh(
+        cls,
+        n_nodes: int,
+        n_edges: int,
+        config: LinkConfig = LinkConfig(),
+        seed: int | str = 0,
+    ) -> "Network":
+        """A random connected graph named ``n0..n<k>``.
+
+        Starts from a random spanning tree (guaranteeing connectivity)
+        and adds random extra edges up to ``n_edges``.
+        """
+        if n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        min_edges = n_nodes - 1
+        if n_edges < min_edges:
+            raise ValueError(f"need at least {min_edges} edges for connectivity")
+        net = cls(seed=seed)
+        names = [f"n{i}" for i in range(n_nodes)]
+        for name in names:
+            net.add_node(name)
+        # Random spanning tree: connect each new node to a random earlier one.
+        connected = [names[0]]
+        edges = set()
+        for name in names[1:]:
+            peer = net.rng.choice(connected)
+            edges.add(frozenset((name, peer)))
+            net.connect(name, peer, config)
+            connected.append(name)
+        attempts = 0
+        while len(edges) < n_edges and attempts < 50 * n_edges:
+            attempts += 1
+            a = net.rng.choice(names)
+            b = net.rng.choice(names)
+            if a == b or frozenset((a, b)) in edges:
+                continue
+            edges.add(frozenset((a, b)))
+            net.connect(a, b, config)
+        net.compute_routes()
+        return net

@@ -1,0 +1,106 @@
+"""Nodes: endpoints and forwarders.
+
+A node delivers frames addressed to it to its application handler and
+forwards everything else along its routing table. Two hooks make the
+node the attachment point for protocol engines:
+
+``app_handler(frame)``
+    Called for frames addressed to this node.
+``forward_filter(frame)``
+    Called before forwarding a transit frame; returning ``False`` drops
+    it. This is where an ALPHA relay engine enforces on-path filtering —
+    exactly the "detect and drop forged or unauthorized messages early"
+    role the paper gives intermediate nodes.
+
+Nodes also own an optional :class:`~repro.devices.profiles.DeviceProfile`
+clock model: protocol engines report their cryptographic work, and the
+node converts it to simulated processing delay before the frame moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.packet import Frame
+from repro.netsim.simulator import Simulator
+
+
+class Node:
+    """A network node with links, routes, and protocol hooks."""
+
+    def __init__(self, simulator: Simulator, name: str) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.links: list = []
+        # destination name -> link to the next hop
+        self.routes: dict[str, object] = {}
+        self.app_handler: Callable[[Frame], None] | None = None
+        self.forward_filter: Callable[[Frame], bool] | None = None
+        self.processing_delay: Callable[[Frame, str], float] | None = None
+        self.frames_delivered = 0
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self.frames_sent = 0
+
+    def attach_link(self, link) -> None:
+        if link not in self.links:
+            self.links.append(link)
+
+    def set_route(self, destination: str, link) -> None:
+        if link not in self.links:
+            raise ValueError(f"{self.name} has no such link")
+        self.routes[destination] = link
+
+    def send(self, frame: Frame) -> None:
+        """Originate a frame from this node towards its destination."""
+        link = self.routes.get(frame.destination)
+        if link is None:
+            raise LookupError(f"{self.name} has no route to {frame.destination}")
+        self.frames_sent += 1
+        link.transmit(frame, self)
+
+    def receive(self, frame: Frame, link) -> None:
+        """Entry point for frames arriving over ``link``."""
+        if frame.destination == self.name:
+            self._deliver(frame)
+            return
+        self._forward(frame)
+
+    def _deliver(self, frame: Frame) -> None:
+        self.frames_delivered += 1
+        delay = self._processing_delay(frame, "deliver")
+        if delay > 0:
+            self.simulator.schedule(delay, self._deliver_now, frame)
+        else:
+            self._deliver_now(frame)
+
+    def _deliver_now(self, frame: Frame) -> None:
+        if self.app_handler is not None:
+            self.app_handler(frame)
+
+    def _forward(self, frame: Frame) -> None:
+        if frame.ttl <= 0:
+            self.frames_dropped += 1
+            return
+        if self.forward_filter is not None and not self.forward_filter(frame):
+            self.frames_dropped += 1
+            return
+        link = self.routes.get(frame.destination)
+        if link is None:
+            self.frames_dropped += 1
+            return
+        frame.ttl -= 1
+        self.frames_forwarded += 1
+        delay = self._processing_delay(frame, "forward")
+        if delay > 0:
+            self.simulator.schedule(delay, link.transmit, frame, self)
+        else:
+            link.transmit(frame, self)
+
+    def _processing_delay(self, frame: Frame, stage: str) -> float:
+        if self.processing_delay is None:
+            return 0.0
+        return self.processing_delay(frame, stage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name}, links={len(self.links)})"

@@ -1,0 +1,72 @@
+"""Tracing and statistics for simulation runs.
+
+A :class:`TraceCollector` can be pointed at a network to snapshot the
+per-node and per-link counters that the nodes and links maintain anyway,
+and protocol engines can log structured events into it for assertions in
+tests (e.g. "the forged frame was dropped at the first relay").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceEvent:
+    time: float
+    node: str
+    event: str
+    detail: str = ""
+
+
+@dataclass
+class TraceCollector:
+    """Accumulates structured protocol events plus node/link counters."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def log(self, time: float, node: str, event: str, detail: str = "") -> None:
+        self.events.append(TraceEvent(time, node, event, detail))
+
+    def by_event(self, event: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.event == event]
+
+    def by_node(self, node: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def count(self, event: str, node: str | None = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e.event == event and (node is None or e.node == node)
+        )
+
+    @staticmethod
+    def network_summary(network) -> dict:
+        """Snapshot of all node and link counters in ``network``."""
+        nodes = {
+            name: {
+                "delivered": node.frames_delivered,
+                "forwarded": node.frames_forwarded,
+                "dropped": node.frames_dropped,
+                "sent": node.frames_sent,
+            }
+            for name, node in network.nodes.items()
+        }
+        links = [
+            {
+                "endpoints": tuple(n.name for n in link.endpoints),
+                "frames_sent": link.frames_sent,
+                "frames_lost": link.frames_lost,
+                "bytes_sent": link.bytes_sent,
+            }
+            for link in network.links
+        ]
+        total_bytes = sum(entry["bytes_sent"] for entry in links)
+        total_lost = sum(entry["frames_lost"] for entry in links)
+        return {
+            "nodes": nodes,
+            "links": links,
+            "total_bytes": total_bytes,
+            "total_lost": total_lost,
+        }

@@ -1,0 +1,87 @@
+"""Terminal plotting for the reproduced figures.
+
+The paper's Figures 5 and 6 are log-log line charts. The benchmark
+harness renders them as ASCII so a headless run still produces an
+eyeballable artifact in ``results/``. Deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MARKERS = "abcdefghij"
+
+
+def _log10(value: float) -> float:
+    return math.log10(value) if value > 0 else float("-inf")
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series into an ASCII grid.
+
+    Each series gets a letter marker (legend below the plot). Points
+    with non-finite or non-positive coordinates on a log axis are
+    skipped. Overlapping points show the *later* series' marker.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+
+    def tx(value: float) -> float:
+        return _log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return _log10(value) if log_y else value
+
+    points = {
+        name: [
+            (tx(x), ty(y))
+            for x, y in values
+            if math.isfinite(tx(x)) and math.isfinite(ty(y))
+        ]
+        for name, values in series.items()
+    }
+    flat = [p for pts in points.values() for p in pts]
+    if not flat:
+        raise ValueError("no plottable points")
+    x_low = min(p[0] for p in flat)
+    x_high = max(p[0] for p in flat)
+    y_low = min(p[1] for p in flat)
+    y_high = max(p[1] for p in flat)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_low) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_low) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        return f"1e{value:.1f}" if log else f"{value:.3g}"
+
+    lines = []
+    lines.append(f"{y_label}  (top={fmt(y_high, log_y)}, bottom={fmt(y_low, log_y)})")
+    for row in grid:
+        lines.append("| " + "".join(row))
+    lines.append("+" + "-" * (width + 1))
+    lines.append(
+        f"  {x_label}: left={fmt(x_low, log_x)}  right={fmt(x_high, log_x)}"
+        + ("  (log-log)" if log_x and log_y else "")
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

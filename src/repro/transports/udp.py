@@ -1,0 +1,136 @@
+"""UDP transport: ALPHA over real sockets.
+
+Runs one :class:`~repro.core.endpoint.AlphaEndpoint` on a UDP socket
+using :mod:`selectors` (no asyncio, no threads). Peer names map to
+``(host, port)`` addresses via an explicit directory — ALPHA identities
+are hash chains, not addresses, so the mapping is pure transport
+plumbing (and may change mid-association, e.g. after a HIP-style
+locator update).
+
+The test suite exercises this over loopback; a real deployment would
+bind it to a mesh interface. Relays would run
+:class:`~repro.core.relay.RelayEngine` inside a packet-forwarding hook
+of their OS — out of scope here (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+
+from repro.core.endpoint import AlphaEndpoint
+
+_MAX_DATAGRAM = 65507
+
+
+class UdpTransport:
+    """Binds an endpoint to a UDP socket and pumps it."""
+
+    def __init__(
+        self,
+        endpoint: AlphaEndpoint,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+        clock=time.monotonic,
+    ) -> None:
+        self.endpoint = endpoint
+        self._clock = clock
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.bind(bind)
+        self._socket.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._socket, selectors.EVENT_READ)
+        # name -> (host, port); address -> name for inbound mapping.
+        self._peer_addresses: dict[str, tuple[str, int]] = {}
+        self._names_by_address: dict[tuple[str, int], str] = {}
+        self.received: list[tuple[str, bytes]] = []
+        self.reports: list = []
+        self.closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._socket.getsockname()
+
+    def register_peer(self, name: str, address: tuple[str, int]) -> None:
+        """Teach the transport where a named peer currently lives."""
+        old = self._peer_addresses.get(name)
+        if old is not None:
+            self._names_by_address.pop(old, None)
+        self._peer_addresses[name] = address
+        self._names_by_address[address] = name
+
+    def connect(self, peer: str) -> None:
+        if peer not in self._peer_addresses:
+            raise LookupError(f"no address registered for {peer!r}")
+        _, payload = self.endpoint.connect(peer, now=self._clock())
+        self._transmit(peer, payload)
+
+    def send(self, peer: str, message: bytes) -> None:
+        self.endpoint.send(peer, message)
+        self.pump(0.0)
+
+    def pump(self, timeout_s: float = 0.05) -> int:
+        """One IO iteration: read ready datagrams, drive the engine.
+
+        Returns the number of datagrams processed. Call in a loop (or
+        from :meth:`run_until`) — this is the sans-IO event loop turn.
+        """
+        if self.closed:
+            raise RuntimeError("transport is closed")
+        processed = 0
+        events = self._selector.select(timeout_s)
+        if events:
+            while True:
+                try:
+                    data, address = self._socket.recvfrom(_MAX_DATAGRAM)
+                except BlockingIOError:
+                    break
+                processed += 1
+                src = self._names_by_address.get(address)
+                if src is None:
+                    continue  # unknown sender: not in the peer directory
+                out = self.endpoint.on_packet(data, src, self._clock())
+                self._dispatch(out)
+        out = self.endpoint.poll(self._clock())
+        self._dispatch(out)
+        return processed
+
+    def run_until(self, predicate, timeout_s: float = 5.0, step_s: float = 0.02) -> bool:
+        """Pump until ``predicate()`` is true or the deadline passes."""
+        deadline = self._clock() + timeout_s
+        while self._clock() < deadline:
+            self.pump(step_s)
+            if predicate():
+                return True
+        return predicate()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._selector.unregister(self._socket)
+            self._socket.close()
+            self._selector.close()
+            self.closed = True
+
+    def __enter__(self) -> "UdpTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _dispatch(self, out) -> None:
+        for peer, payload in out.replies:
+            self._transmit(peer, payload)
+        for peer, message in out.delivered:
+            self.received.append((peer, message.message))
+        self.reports.extend(out.reports)
+
+    def _transmit(self, peer: str, payload: bytes) -> None:
+        address = self._peer_addresses.get(peer)
+        if address is None:
+            return
+        try:
+            self._socket.sendto(payload, address)
+        except OSError:
+            pass  # transient send failure; retransmission recovers

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import OpCounter, get_hash
+
+
+@pytest.fixture
+def sha1():
+    """A fresh SHA-1 hash function with its own counter."""
+    return get_hash("sha1", OpCounter())
+
+
+@pytest.fixture
+def mmo16():
+    """The MMO-AES hash (16-byte digests) with its own counter."""
+    return get_hash("mmo", OpCounter())
+
+
+@pytest.fixture
+def rng():
+    """A deterministic DRBG; tests that need independence fork it."""
+    return DRBG(b"test-suite-seed")
+
+
+def make_chain_pair(hash_fn, rng, length=64):
+    """An owner chain plus a verifier anchored to it (signature tags)."""
+    from repro.core.hashchain import ChainVerifier, HashChain
+
+    chain = HashChain(hash_fn, rng.random_bytes(hash_fn.digest_size), length)
+    return chain, ChainVerifier(hash_fn, chain.anchor)

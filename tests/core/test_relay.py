@@ -1,0 +1,267 @@
+"""Relay engine: hop-by-hop verification, filtering, extraction."""
+
+import pytest
+
+from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier, HashChain
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import decode_packet
+from repro.core.relay import RelayConfig, RelayEngine
+from repro.core.signer import ChannelConfig, SignerSession
+from repro.core.verifier import VerifierSession
+from repro.crypto.hashes import get_hash
+
+H = 20
+ASSOC = 55
+
+
+class Harness:
+    """A signer, a verifier, and a relay in between, driven by hand."""
+
+    def __init__(self, sha1, rng, config=None, relay_config=None):
+        if config is None:
+            config = ChannelConfig()
+        self.sha1 = sha1
+        sig_chain = HashChain(sha1, rng.random_bytes(H), 64)
+        ack_chain = HashChain(sha1, rng.random_bytes(H), 64, tags=ACKNOWLEDGMENT_TAGS)
+        self.signer = SignerSession(
+            sha1,
+            sig_chain,
+            ChainVerifier(sha1, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
+            config,
+            ASSOC,
+        )
+        self.verifier = VerifierSession(
+            sha1,
+            ack_chain,
+            ChainVerifier(sha1, sig_chain.anchor),
+            ASSOC,
+            rng.fork("v"),
+        )
+        self.relay = RelayEngine(get_hash("sha1"), relay_config)
+        # Static provisioning: a "reverse" chain set is irrelevant here,
+        # reuse the same anchors for the unused direction.
+        self.relay.provision(
+            assoc_id=ASSOC,
+            initiator="s",
+            responder="v",
+            initiator_sig_anchor=sig_chain.anchor,
+            initiator_ack_anchor=ack_chain.anchor,
+            responder_sig_anchor=sig_chain.anchor,
+            responder_ack_anchor=ack_chain.anchor,
+        )
+
+    def s_to_v(self, raw):
+        return self.relay.handle(raw, "s", "v", 0.0)
+
+    def v_to_s(self, raw):
+        return self.relay.handle(raw, "v", "s", 0.0)
+
+    def run_exchange(self, messages):
+        """Full exchange through the relay; returns (delivered, decisions)."""
+        decisions = []
+        for m in messages:
+            self.signer.submit(m)
+        s1_raw = self.signer.poll(0.0)[0]
+        decisions.append(self.s_to_v(s1_raw))
+        a1_raw = self.verifier.handle_s1(decode_packet(s1_raw, H), 0.0)
+        decisions.append(self.v_to_s(a1_raw))
+        s2_raws = self.signer.handle_a1(decode_packet(a1_raw, H), 0.0)
+        for raw in s2_raws:
+            decisions.append(self.s_to_v(raw))
+            a2 = self.verifier.handle_s2(decode_packet(raw, H), 0.0)
+            if a2 is not None:
+                decisions.append(self.v_to_s(a2))
+                self.signer.handle_a2(decode_packet(a2, H), 0.0)
+        return [m.message for m in self.verifier.drain_delivered()], decisions
+
+
+class TestHonestTraffic:
+    @pytest.mark.parametrize(
+        "mode,batch",
+        [(Mode.BASE, 1), (Mode.CUMULATIVE, 4), (Mode.MERKLE, 4)],
+    )
+    def test_all_packets_forwarded_and_verified(self, sha1, rng, mode, batch):
+        config = ChannelConfig(mode=mode, batch_size=batch,
+                               reliability=ReliabilityMode.RELIABLE)
+        harness = Harness(sha1, rng, config)
+        messages = [b"m%d" % i for i in range(batch)]
+        delivered, decisions = harness.run_exchange(messages)
+        assert delivered == messages
+        assert all(d.forward for d in decisions)
+        assert all(d.verified for d in decisions)
+
+    def test_extraction(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        harness.run_exchange([b"signal-payload"])
+        extracted = harness.relay.drain_extracted()
+        assert len(extracted) == 1
+        assert extracted[0].message == b"signal-payload"
+        assert extracted[0].signer == "s"
+        assert harness.relay.drain_extracted() == []
+
+    def test_relay_buffer_accounting(self, sha1, rng):
+        config = ChannelConfig(mode=Mode.CUMULATIVE, batch_size=4)
+        harness = Harness(sha1, rng, config)
+        for m in (b"a", b"b", b"c", b"d"):
+            harness.signer.submit(m)
+        s1_raw = harness.signer.poll(0.0)[0]
+        harness.s_to_v(s1_raw)
+        # Table 2 relay column: n * h buffered after the S1.
+        assert harness.relay.buffered_bytes == 4 * H
+
+    def test_merkle_relay_buffers_single_root(self, sha1, rng):
+        config = ChannelConfig(mode=Mode.MERKLE, batch_size=8)
+        harness = Harness(sha1, rng, config)
+        for i in range(8):
+            harness.signer.submit(b"m%d" % i)
+        harness.s_to_v(harness.signer.poll(0.0)[0])
+        assert harness.relay.buffered_bytes == H  # one root regardless of n
+
+    def test_s1_retransmission_forwarded(self, sha1, rng):
+        harness = Harness(sha1, rng, ChannelConfig(retransmit_timeout_s=1.0))
+        harness.signer.submit(b"m")
+        s1_raw = harness.signer.poll(0.0)[0]
+        assert harness.s_to_v(s1_raw).forward
+        retrans = harness.signer.poll(2.0)[0]
+        decision = harness.s_to_v(retrans)
+        assert decision.forward
+        assert decision.reason == "s1-retransmit"
+
+
+class TestFiltering:
+    def test_forged_s1_dropped(self, sha1, rng):
+        from repro.core.packets import S1Packet
+
+        harness = Harness(sha1, rng)
+        forged = S1Packet(ASSOC, 1, Mode.BASE, 63, b"\x00" * H, [b"\x01" * H], 1)
+        decision = harness.s_to_v(forged.encode())
+        assert not decision.forward
+        assert decision.reason == "s1-bad-chain-element"
+
+    def test_tampered_s2_dropped(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        harness.signer.submit(b"genuine")
+        s1_raw = harness.signer.poll(0.0)[0]
+        harness.s_to_v(s1_raw)
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), 0.0)
+        harness.v_to_s(a1_raw)
+        s2_raw = harness.signer.handle_a1(decode_packet(a1_raw, H), 0.0)[0]
+        s2 = decode_packet(s2_raw, H)
+        s2.message = b"tampered"
+        decision = harness.s_to_v(s2.encode())
+        assert not decision.forward
+        assert decision.reason == "s2-bad-payload"
+
+    def test_unsolicited_s2_dropped_before_a1(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        harness.signer.submit(b"m")
+        s1_raw = harness.signer.poll(0.0)[0]
+        harness.s_to_v(s1_raw)
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), 0.0)
+        # A1 never traverses the relay; the signer gets it out of band.
+        s2_raw = harness.signer.handle_a1(decode_packet(a1_raw, H), 0.0)[0]
+        decision = harness.s_to_v(s2_raw)
+        assert not decision.forward
+        assert decision.reason == "s2-unsolicited"
+
+    def test_unknown_exchange_s2_policy(self, sha1, rng):
+        harness_strict = Harness(sha1, rng.fork("a"))
+        harness_lax = Harness(
+            sha1, rng.fork("b"), relay_config=RelayConfig(strict=False)
+        )
+        for harness, expect_forward in ((harness_strict, False), (harness_lax, True)):
+            harness.signer.submit(b"m")
+            s1_raw = harness.signer.poll(0.0)[0]
+            # Relay misses the S1 entirely.
+            a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), 0.0)
+            s2_raw = harness.signer.handle_a1(decode_packet(a1_raw, H), 0.0)[0]
+            assert harness.s_to_v(s2_raw).forward is expect_forward
+
+    def test_forged_a1_dropped(self, sha1, rng):
+        from repro.core.packets import A1Packet
+
+        harness = Harness(sha1, rng)
+        harness.signer.submit(b"m")
+        s1_raw = harness.signer.poll(0.0)[0]
+        harness.s_to_v(s1_raw)
+        s1 = decode_packet(s1_raw, H)
+        forged = A1Packet(ASSOC, s1.seq, 63, b"\x02" * H, s1.chain_index, s1.chain_element)
+        assert not harness.v_to_s(forged.encode()).forward
+
+    def test_forged_a2_dropped(self, sha1, rng):
+        from repro.core.packets import A2Packet, AckVerdict
+
+        config = ChannelConfig(reliability=ReliabilityMode.RELIABLE)
+        harness = Harness(sha1, rng, config)
+        harness.signer.submit(b"m")
+        s1_raw = harness.signer.poll(0.0)[0]
+        harness.s_to_v(s1_raw)
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), 0.0)
+        harness.v_to_s(a1_raw)
+        s2_raw = harness.signer.handle_a1(decode_packet(a1_raw, H), 0.0)[0]
+        harness.s_to_v(s2_raw)
+        genuine_a2 = decode_packet(harness.verifier.handle_s2(decode_packet(s2_raw, H), 0.0), H)
+        forged = A2Packet(
+            ASSOC,
+            genuine_a2.seq,
+            genuine_a2.disclosed_index,
+            genuine_a2.disclosed_element,
+            [AckVerdict(0, True, b"\x00" * 16)],
+        )
+        assert not harness.v_to_s(forged.encode()).forward
+        assert harness.v_to_s(genuine_a2.encode()).forward
+
+    def test_malformed_packet_dropped(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        # Valid magic and S1 type byte, then truncated garbage.
+        decision = harness.relay.handle(
+            b"\xa1\xfa\x01\x03" + b"\x00" * 12 + b"trunc", "s", "v", 0.0
+        )
+        assert not decision.forward
+        assert decision.reason == "malformed"
+
+    def test_non_alpha_traffic_forwarded(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        decision = harness.relay.handle(b"ordinary UDP payload", "s", "v", 0.0)
+        assert decision.forward
+        assert decision.reason == "not-alpha"
+
+    def test_unknown_association_policy(self, sha1, rng):
+        from repro.core.packets import S1Packet
+
+        packet = S1Packet(999, 1, Mode.BASE, 63, b"\x00" * H, [b"\x01" * H], 1)
+        open_relay = RelayEngine(get_hash("sha1"))
+        assert open_relay.handle(packet.encode(), "s", "v", 0.0).forward
+        closed_relay = RelayEngine(
+            get_hash("sha1"), RelayConfig(forward_unknown=False)
+        )
+        assert not closed_relay.handle(packet.encode(), "s", "v", 0.0).forward
+
+
+class TestFloodMitigation:
+    def test_oversized_s1_dropped_until_allowance_grows(self, sha1, rng):
+        config = ChannelConfig(mode=Mode.CUMULATIVE, batch_size=40)
+        relay_config = RelayConfig(initial_s1_allowance=300)
+        harness = Harness(sha1, rng, config, relay_config)
+        for i in range(40):
+            harness.signer.submit(b"m%d" % i)
+        big_s1 = harness.signer.poll(0.0)[0]
+        assert len(big_s1) > 300
+        decision = harness.s_to_v(big_s1)
+        assert not decision.forward
+        assert decision.reason == "s1-over-allowance"
+
+    def test_allowance_doubles_after_valid_a1(self, sha1, rng):
+        relay_config = RelayConfig(initial_s1_allowance=300)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        harness.run_exchange([b"small"])
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert channel.s1_allowance == 600
+
+    def test_stats_track_reasons(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        harness.run_exchange([b"m"])
+        assert harness.relay.stats["s1-ok"] == 1
+        assert harness.relay.stats["a1-ok"] == 1
+        assert harness.relay.stats["s2-ok"] == 1
+        assert harness.relay.stats["forwarded"] == 3

@@ -1,0 +1,70 @@
+"""AES-128 against the FIPS-197 vectors and structural properties."""
+
+import pytest
+
+from repro.crypto.aes import AES128, encrypt_block, expand_key
+
+
+# FIPS-197 Appendix C.1.
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# FIPS-197 Appendix B worked example.
+APPB_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPB_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPB_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestKnownVectors:
+    def test_fips_appendix_c1(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+    def test_fips_appendix_b(self):
+        assert AES128(APPB_KEY).encrypt_block(APPB_PLAINTEXT) == APPB_CIPHERTEXT
+
+    def test_decrypt_inverts_known_vector(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CIPHERTEXT) == FIPS_PLAINTEXT
+
+    def test_one_shot_helper(self):
+        assert encrypt_block(FIPS_KEY, FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+
+class TestRoundTrip:
+    def test_round_trip_many_blocks(self):
+        cipher = AES128(b"k" * 16)
+        for i in range(64):
+            block = bytes([(i * 17 + j) % 256 for j in range(16)])
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = b"\x00" * 16
+        assert AES128(b"a" * 16).encrypt_block(block) != AES128(b"b" * 16).encrypt_block(block)
+
+    def test_single_bit_key_change_diffuses(self):
+        block = b"\x00" * 16
+        key2 = bytes([0x01]) + b"\x00" * 15
+        c1 = AES128(b"\x00" * 16).encrypt_block(block)
+        c2 = AES128(key2).encrypt_block(block)
+        differing = sum(bin(a ^ b).count("1") for a, b in zip(c1, c2))
+        assert differing > 32  # strong avalanche
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(ValueError):
+            AES128(b"k" * 16).encrypt_block(b"tiny")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            AES128(b"k" * 16).decrypt_block(b"x" * 17)
+
+    def test_key_schedule_shape(self):
+        keys = expand_key(FIPS_KEY)
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+        assert bytes(keys[0]) == FIPS_KEY

@@ -1,0 +1,124 @@
+"""Deterministic random generation."""
+
+import pytest
+
+from repro.crypto.drbg import DRBG, SystemRandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = DRBG(42), DRBG(42)
+        assert a.random_bytes(100) == b.random_bytes(100)
+
+    def test_different_seeds_differ(self):
+        assert DRBG(1).random_bytes(32) != DRBG(2).random_bytes(32)
+
+    def test_seed_types(self):
+        # int and str seeds map to different byte encodings; a str seed
+        # and its UTF-8 bytes are equivalent by design.
+        assert DRBG(7).random_bytes(16) != DRBG("7").random_bytes(16)
+        assert DRBG("7").random_bytes(16) == DRBG(b"7").random_bytes(16)
+
+    def test_personalization_separates(self):
+        a = DRBG(1, personalization=b"alpha")
+        b = DRBG(1, personalization=b"beta")
+        assert a.random_bytes(32) != b.random_bytes(32)
+
+    def test_fork_independence(self):
+        parent = DRBG(5)
+        child1 = parent.fork("a")
+        child2 = parent.fork("a")  # forked later -> different state
+        assert child1.random_bytes(16) != child2.random_bytes(16)
+
+    def test_fork_reproducible(self):
+        c1 = DRBG(5).fork("x").random_bytes(16)
+        c2 = DRBG(5).fork("x").random_bytes(16)
+        assert c1 == c2
+
+
+class TestDistributions:
+    def test_random_int_bit_length(self):
+        rng = DRBG(9)
+        for bits in (1, 8, 160, 1024):
+            value = rng.random_int(bits)
+            assert value.bit_length() == bits
+
+    def test_random_below_range(self):
+        rng = DRBG(10)
+        for _ in range(200):
+            assert 0 <= rng.random_below(7) < 7
+
+    def test_random_below_covers_all_values(self):
+        rng = DRBG(11)
+        seen = {rng.random_below(5) for _ in range(200)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_random_range(self):
+        rng = DRBG(12)
+        for _ in range(100):
+            assert 10 <= rng.random_range(10, 13) < 13
+
+    def test_uniform_bounds(self):
+        rng = DRBG(13)
+        values = [rng.uniform(2.0, 3.0) for _ in range(500)]
+        assert all(2.0 <= v < 3.0 for v in values)
+        assert 2.4 < sum(values) / len(values) < 2.6
+
+    def test_expovariate_positive_and_mean(self):
+        rng = DRBG(14)
+        values = [rng.expovariate(2.0) for _ in range(2000)]
+        assert all(v >= 0 for v in values)
+        mean = sum(values) / len(values)
+        assert 0.4 < mean < 0.6  # true mean 0.5
+
+    def test_choice_and_shuffle(self):
+        rng = DRBG(15)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bytes_roughly_uniform(self):
+        data = DRBG(16).random_bytes(20000)
+        ones = sum(bin(b).count("1") for b in data)
+        assert abs(ones / (len(data) * 8) - 0.5) < 0.01
+
+
+class TestValidation:
+    def test_negative_byte_count(self):
+        with pytest.raises(ValueError):
+            DRBG(1).random_bytes(-1)
+
+    def test_zero_bits(self):
+        with pytest.raises(ValueError):
+            DRBG(1).random_int(0)
+
+    def test_empty_bound(self):
+        with pytest.raises(ValueError):
+            DRBG(1).random_below(0)
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            DRBG(1).random_range(5, 5)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            DRBG(1).expovariate(0)
+
+    def test_empty_choice(self):
+        with pytest.raises(ValueError):
+            DRBG(1).choice([])
+
+
+class TestSystemSource:
+    def test_random_bytes_length(self):
+        assert len(SystemRandomSource().random_bytes(33)) == 33
+
+    def test_random_below(self):
+        src = SystemRandomSource()
+        assert all(0 <= src.random_below(4) < 4 for _ in range(50))
+
+    def test_random_below_validates(self):
+        with pytest.raises(ValueError):
+            SystemRandomSource().random_below(0)

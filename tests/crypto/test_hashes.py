@@ -1,0 +1,167 @@
+"""The counting hash front-end."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashes import OpCounter, available_hashes, get_hash
+
+
+class TestAlgorithms:
+    def test_sha1_matches_hashlib(self, sha1):
+        assert sha1.digest(b"abc") == hashlib.sha1(b"abc").digest()
+
+    def test_sha256_matches_hashlib(self):
+        fn = get_hash("sha256")
+        assert fn.digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_mmo_digest_size(self):
+        assert get_hash("mmo").digest_size == 16
+
+    def test_available_hashes(self):
+        assert set(available_hashes()) == {"mmo", "sha1", "sha1p", "sha256"}
+
+    def test_truncation(self):
+        fn = get_hash("sha1-8")
+        assert fn.digest_size == 8
+        assert fn.digest(b"abc") == hashlib.sha1(b"abc").digest()[:8]
+
+    def test_truncation_bounds(self):
+        with pytest.raises(ValueError):
+            get_hash("sha1-0")
+        with pytest.raises(ValueError):
+            get_hash("sha1-21")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            get_hash("md5")
+
+
+class TestCounting:
+    def test_digest_counts(self, sha1):
+        sha1.digest(b"x" * 10)
+        sha1.digest(b"y" * 30)
+        assert sha1.counter.hash_ops == 2
+        assert sha1.counter.hash_bytes == 40
+        assert sha1.counter.mac_ops == 0
+
+    def test_mac_counts_separately(self, sha1):
+        sha1.mac(b"key", b"message")
+        assert sha1.counter.mac_ops == 1
+        assert sha1.counter.mac_bytes == 7
+        assert sha1.counter.hash_ops == 0
+
+    def test_uncounted_digest(self, sha1):
+        sha1.digest_uncounted(b"meta")
+        assert sha1.counter.total_ops == 0
+
+    def test_labels(self, sha1):
+        sha1.digest(b"a", label="chain-create")
+        sha1.digest(b"b", label="chain-create")
+        sha1.mac(b"k", b"m", label="pre-signature")
+        assert sha1.counter.labels == {"chain-create": 2, "pre-signature": 1}
+
+    def test_snapshot_and_diff(self, sha1):
+        sha1.digest(b"a", label="x")
+        before = sha1.counter.snapshot()
+        sha1.digest(b"b", label="x")
+        sha1.mac(b"k", b"mmm", label="y")
+        delta = sha1.counter.diff(before)
+        assert delta.hash_ops == 1
+        assert delta.mac_ops == 1
+        assert delta.labels == {"x": 1, "y": 1}
+
+    def test_reset(self, sha1):
+        sha1.digest(b"a")
+        sha1.counter.reset()
+        assert sha1.counter.total_ops == 0
+        assert sha1.counter.labels == {}
+
+    def test_shared_vs_private_counters(self):
+        shared = OpCounter()
+        fn1 = get_hash("sha1", shared)
+        fn2 = get_hash("sha1", shared)
+        fn1.digest(b"a")
+        fn2.digest(b"b")
+        assert shared.hash_ops == 2
+        private = get_hash("sha1")
+        private.digest(b"c")
+        assert shared.hash_ops == 2
+        assert private.counter.hash_ops == 1
+
+    def test_with_counter_rebinding(self, sha1):
+        other = OpCounter()
+        sibling = sha1.with_counter(other)
+        sibling.digest(b"z")
+        assert other.hash_ops == 1
+        assert sha1.counter.hash_ops == 0
+
+
+class TestHmacOverHashes:
+    def test_sha1_hmac_matches_stdlib(self, sha1):
+        import hmac
+
+        expected = hmac.new(b"key", b"msg", hashlib.sha1).digest()
+        assert sha1.mac(b"key", b"msg") == expected
+
+    def test_long_key_is_hashed_down(self, sha1):
+        import hmac
+
+        key = b"K" * 100  # longer than the 64-byte block
+        expected = hmac.new(key, b"msg", hashlib.sha1).digest()
+        assert sha1.mac(key, b"msg") == expected
+
+    def test_mmo_hmac_works(self, mmo16):
+        tag1 = mmo16.mac(b"key", b"msg")
+        tag2 = mmo16.mac(b"key", b"msg")
+        tag3 = mmo16.mac(b"yek", b"msg")
+        assert tag1 == tag2
+        assert tag1 != tag3
+        assert len(tag1) == 16
+
+
+class TestPureSha1:
+    """The from-scratch SHA-1 against hashlib and FIPS 180 vectors."""
+
+    def test_fips_vectors(self):
+        from repro.crypto.sha1 import sha1_digest
+
+        assert sha1_digest(b"abc").hex() == (
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        )
+        assert sha1_digest(b"").hex() == (
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        )
+        assert sha1_digest(
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        ).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_million_a(self):
+        from repro.crypto.sha1 import sha1_digest
+
+        assert sha1_digest(b"a" * 1_000_000).hex() == (
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        )
+
+    def test_matches_hashlib_across_lengths(self):
+        from repro.crypto.sha1 import sha1_digest
+
+        for n in (0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000):
+            payload = bytes(range(256)) * (n // 256 + 1)
+            payload = payload[:n]
+            assert sha1_digest(payload) == hashlib.sha1(payload).digest(), n
+
+    def test_registered_in_front_end(self):
+        fn = get_hash("sha1p")
+        assert fn.digest(b"cross-check") == hashlib.sha1(b"cross-check").digest()
+        assert get_hash("sha1p-8").digest(b"x") == hashlib.sha1(b"x").digest()[:8]
+
+    def test_usable_as_protocol_hash(self, rng):
+        from repro.core.hashchain import ChainVerifier, HashChain
+
+        fn = get_hash("sha1p")
+        chain = HashChain(fn, rng.random_bytes(20), 8)
+        verifier = ChainVerifier(fn, chain.anchor)
+        element, key = chain.next_exchange()
+        assert verifier.verify(element)
+        assert verifier.verify(key)

@@ -1,0 +1,63 @@
+"""Matyas–Meyer–Oseas hash: structure, determinism, and cost model."""
+
+import pytest
+
+from repro.crypto.mmo import DIGEST_SIZE, mmo_blocks, mmo_digest
+
+
+class TestDigest:
+    def test_digest_size(self):
+        assert len(mmo_digest(b"")) == DIGEST_SIZE
+        assert len(mmo_digest(b"x" * 1000)) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert mmo_digest(b"hello") == mmo_digest(b"hello")
+
+    def test_different_inputs_differ(self):
+        assert mmo_digest(b"hello") != mmo_digest(b"hellp")
+
+    def test_length_extension_resistant_padding(self):
+        # Merkle-Damgård strengthening: same prefix, different lengths
+        # must never collide because the length is folded in.
+        assert mmo_digest(b"a" * 16) != mmo_digest(b"a" * 15)
+        assert mmo_digest(b"") != mmo_digest(b"\x80")
+
+    def test_padding_boundary_inputs(self):
+        # Inputs straddling the 16-byte block boundary around padding.
+        digests = {mmo_digest(b"q" * n) for n in (6, 7, 8, 15, 16, 17, 23, 24)}
+        assert len(digests) == 8
+
+    def test_custom_iv_changes_digest(self):
+        iv2 = b"\x01" * 16
+        assert mmo_digest(b"data", iv=iv2) != mmo_digest(b"data")
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ValueError):
+            mmo_digest(b"data", iv=b"short")
+
+
+class TestBlockCount:
+    """The cost model behind the CC2430 profile (paper Section 4.1.3)."""
+
+    @pytest.mark.parametrize(
+        "length,blocks",
+        [
+            (0, 1),
+            (7, 1),
+            (8, 2),  # 8 + 1 + 8 = 17 -> 2 blocks
+            (16, 2),  # the paper's 16-byte measurement point
+            (23, 2),
+            (24, 3),
+            (84, 6),  # the paper's 84-byte measurement point
+        ],
+    )
+    def test_block_counts(self, length, blocks):
+        assert mmo_blocks(length) == blocks
+
+    def test_block_count_matches_actual_compression_calls(self):
+        # Cross-check the formula against the padded length.
+        for n in range(0, 200, 7):
+            padded_blocks = mmo_blocks(n)
+            # _pad appends 1 byte then zeros then 8 bytes of length.
+            minimum = (n + 9 + 15) // 16
+            assert padded_blocks == minimum

@@ -1,0 +1,223 @@
+"""RSA, DSA, ECDSA and the uniform signature-scheme interface.
+
+Key sizes are reduced where the algorithm allows so the suite stays
+fast; the benchmark harness exercises the full 1024-bit sizes.
+"""
+
+import pytest
+
+from repro.crypto import dsa, ecc, rsa
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import OpCounter
+from repro.crypto.primes import generate_prime, invmod, is_probable_prime
+from repro.crypto.signatures import (
+    DsaScheme,
+    EcdsaScheme,
+    RsaScheme,
+    generate_scheme,
+    verify_public_blob,
+)
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 1999):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 561, 1105, 1729):  # includes Carmichaels
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne
+        assert not is_probable_prime(2**128 - 1)
+
+    def test_generate_prime_properties(self):
+        rng = DRBG(1)
+        p = generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_invmod(self):
+        assert invmod(3, 7) == 5
+        assert (invmod(12345, 99991) * 12345) % 99991 == 1
+
+    def test_invmod_no_inverse(self):
+        with pytest.raises(ValueError):
+            invmod(6, 9)
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return rsa.generate_keypair(512, DRBG(b"rsa-test"))
+
+    def test_sign_verify(self, keypair):
+        sig = rsa.sign(keypair, b"hello")
+        assert rsa.verify(keypair.public_key, b"hello", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = rsa.sign(keypair, b"hello")
+        assert not rsa.verify(keypair.public_key, b"goodbye", sig)
+
+    def test_corrupted_signature_rejected(self, keypair):
+        sig = bytearray(rsa.sign(keypair, b"hello"))
+        sig[10] ^= 0x01
+        assert not rsa.verify(keypair.public_key, b"hello", bytes(sig))
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not rsa.verify(keypair.public_key, b"hello", b"\x00" * 63)
+
+    def test_oversized_signature_value_rejected(self, keypair):
+        blob = (keypair.n + 1).to_bytes(keypair.public_key.byte_size, "big")
+        assert not rsa.verify(keypair.public_key, b"hello", blob)
+
+    def test_crt_consistency(self, keypair):
+        # CRT signing must agree with the plain d exponentiation.
+        from repro.crypto.rsa import _encode_digest
+
+        m = _encode_digest(b"msg", keypair.public_key.byte_size)
+        plain = pow(m, keypair.d, keypair.n)
+        sig = rsa.sign(keypair, b"msg")
+        assert int.from_bytes(sig, "big") == plain
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(128, DRBG(1))
+
+
+class TestDsa:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = DRBG(b"dsa-test")
+        params = dsa.generate_parameters(512, 160, rng)
+        key = dsa.generate_keypair(params, rng)
+        return params, key, rng
+
+    def test_parameter_structure(self, setup):
+        params, _, _ = setup
+        assert (params.p - 1) % params.q == 0
+        assert pow(params.g, params.q, params.p) == 1
+        assert params.g > 1
+
+    def test_sign_verify(self, setup):
+        _, key, rng = setup
+        sig = dsa.sign(key, b"msg", rng)
+        assert dsa.verify(key.public_key, b"msg", sig)
+
+    def test_wrong_message_rejected(self, setup):
+        _, key, rng = setup
+        sig = dsa.sign(key, b"msg", rng)
+        assert not dsa.verify(key.public_key, b"other", sig)
+
+    def test_out_of_range_signature_rejected(self, setup):
+        params, key, _ = setup
+        assert not dsa.verify(key.public_key, b"msg", (0, 1))
+        assert not dsa.verify(key.public_key, b"msg", (1, params.q))
+
+    def test_signature_codec_round_trip(self, setup):
+        _, key, rng = setup
+        sig = dsa.sign(key, b"msg", rng)
+        blob = dsa.encode_signature(sig, 160)
+        assert dsa.decode_signature(blob) == sig
+
+    def test_codec_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            dsa.decode_signature(b"\x00" * 41)
+
+    def test_default_parameters_cached(self):
+        p1 = dsa.default_parameters(512, 160)
+        p2 = dsa.default_parameters(512, 160)
+        assert p1 is p2
+
+
+class TestEcdsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return ecc.generate_keypair(ecc.P256, DRBG(b"ecc-test"))
+
+    def test_generator_on_curve(self):
+        assert ecc.P256.contains(ecc.P256.generator)
+
+    def test_group_order(self):
+        assert ecc.point_mul(ecc.P256, ecc.P256.n, ecc.P256.generator) is None
+
+    def test_point_arithmetic_consistency(self):
+        g = ecc.P256.generator
+        two_g = ecc.point_add(ecc.P256, g, g)
+        assert two_g == ecc.point_mul(ecc.P256, 2, g)
+        three_g = ecc.point_add(ecc.P256, two_g, g)
+        assert three_g == ecc.point_mul(ecc.P256, 3, g)
+        assert ecc.P256.contains(three_g)
+
+    def test_identity_element(self):
+        g = ecc.P256.generator
+        assert ecc.point_add(ecc.P256, g, None) == g
+        assert ecc.point_add(ecc.P256, None, g) == g
+
+    def test_inverse_points_sum_to_identity(self):
+        g = ecc.P256.generator
+        neg_g = (g[0], (-g[1]) % ecc.P256.p)
+        assert ecc.point_add(ecc.P256, g, neg_g) is None
+
+    def test_sign_verify(self, keypair):
+        sig = ecc.sign(keypair, b"msg", DRBG(7))
+        assert ecc.verify(keypair.public_key, b"msg", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = ecc.sign(keypair, b"msg", DRBG(7))
+        assert not ecc.verify(keypair.public_key, b"other", sig)
+
+    def test_zero_signature_rejected(self, keypair):
+        assert not ecc.verify(keypair.public_key, b"msg", (0, 0))
+
+    def test_codec_round_trip(self, keypair):
+        sig = ecc.sign(keypair, b"msg", DRBG(8))
+        assert ecc.decode_signature(ecc.encode_signature(ecc.P256, sig)) == sig
+
+
+class TestSchemeInterface:
+    @pytest.mark.parametrize("name", ["rsa", "dsa", "ecdsa"])
+    def test_generate_sign_verify(self, name):
+        scheme = generate_scheme(name, DRBG(f"scheme-{name}"))
+        sig = scheme.sign(b"anchor-blob")
+        assert scheme.verify(b"anchor-blob", sig)
+        assert not scheme.verify(b"tampered", sig)
+
+    @pytest.mark.parametrize("name", ["rsa", "dsa", "ecdsa"])
+    def test_public_blob_verification(self, name):
+        scheme = generate_scheme(name, DRBG(f"blob-{name}"))
+        sig = scheme.sign(b"data")
+        assert verify_public_blob(scheme.public_blob(), b"data", sig)
+        assert not verify_public_blob(scheme.public_blob(), b"other", sig)
+
+    def test_blob_garbage_rejected(self):
+        assert not verify_public_blob(b"", b"m", b"s")
+        assert not verify_public_blob(b"\xff" * 40, b"m", b"s")
+        scheme = generate_scheme("ecdsa", DRBG(3))
+        sig = scheme.sign(b"m")
+        truncated = scheme.public_blob()[:10]
+        assert not verify_public_blob(truncated, b"m", sig)
+
+    def test_counters(self):
+        counter = OpCounter()
+        scheme = EcdsaScheme.generate(DRBG(4), counter=counter)
+        sig = scheme.sign(b"m")
+        scheme.verify(b"m", sig)
+        assert counter.pk_signs == 1
+        assert counter.pk_verifies == 1
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            generate_scheme("ed25519", DRBG(5))
+
+    def test_reduced_rsa_size(self):
+        scheme = RsaScheme.generate(DRBG(6), bits=512)
+        assert scheme.name == "rsa-512"
+        assert scheme.verify(b"x", scheme.sign(b"x"))
+
+    def test_dsa_scheme_custom_parameters(self):
+        rng = DRBG(7)
+        params = dsa.generate_parameters(512, 160, rng)
+        scheme = DsaScheme.generate(rng, parameters=params)
+        assert scheme.verify(b"x", scheme.sign(b"x"))

@@ -1,0 +1,115 @@
+"""Device cost profiles: calibration against the paper's constants."""
+
+import pytest
+
+from repro.devices import get_profile, host_calibrated_profile, PROFILES
+from repro.devices.energy import EnergyModel, MESH_ENERGY, SENSOR_ENERGY
+
+MS = 1e-3
+
+
+class TestCalibration:
+    """Profiles must reproduce the paper's published measurements."""
+
+    @pytest.mark.parametrize(
+        "name,t20,t1024",
+        [
+            ("ar2315", 0.059, 0.360),
+            ("bcm5365", 0.046, 0.361),
+            ("geode-lx800", 0.011, 0.062),
+        ],
+    )
+    def test_table5_sha1_times(self, name, t20, t1024):
+        profile = get_profile(name)
+        assert profile.hash_time(20) == pytest.approx(t20 * MS, rel=1e-6)
+        assert profile.hash_time(1024) == pytest.approx(t1024 * MS, rel=1e-6)
+
+    def test_table4_single_point_platforms(self):
+        assert get_profile("nokia-n770").hash_time(20) == pytest.approx(0.02 * MS)
+        assert get_profile("xeon-3.2").hash_time(20) == pytest.approx(0.01 * MS)
+
+    def test_cc2430_mmo_times(self):
+        profile = get_profile("cc2430")
+        assert profile.hash_time(16) == pytest.approx(0.78 * MS, rel=1e-6)
+        assert profile.hash_time(84) == pytest.approx(2.01 * MS, rel=1e-6)
+
+    def test_table4_pk_costs(self):
+        n770 = get_profile("nokia-n770")
+        assert n770.pk_time("rsa1024-sign") == pytest.approx(181.32 * MS)
+        assert n770.pk_time("dsa1024-verify") == pytest.approx(118.73 * MS)
+        xeon = get_profile("xeon-3.2")
+        assert xeon.pk_time("rsa1024-verify") == pytest.approx(0.15 * MS)
+
+    def test_gura_ecc_point_multiplication(self):
+        avr = get_profile("atmega128-8mhz")
+        assert avr.pk_time("ecc160-point-mul") == pytest.approx(0.81)
+
+
+class TestCostModelShape:
+    def test_hash_time_monotone_in_size(self):
+        for profile in PROFILES.values():
+            assert profile.hash_time(1024) > profile.hash_time(20) > 0
+
+    def test_chain_element_and_tree_node_times(self):
+        profile = get_profile("ar2315")
+        assert profile.chain_element_time() == pytest.approx(profile.hash_time(22))
+        assert profile.tree_node_time() == pytest.approx(profile.hash_time(40))
+
+    def test_cc2430_block_granularity(self):
+        # The MMO model charges per AES block: 17 bytes should cost the
+        # same as 16 (both 2 blocks), 24 should cost more (3 blocks).
+        profile = get_profile("cc2430")
+        assert profile.hash_time(17) == profile.hash_time(16)
+        assert profile.hash_time(24) > profile.hash_time(16)
+
+    def test_relative_platform_ordering(self):
+        # Faster platforms must stay faster: Xeon < Geode < BCM/AR < N770?
+        # The paper's ordering at 20 B: xeon 0.01 < geode 0.011 < n770 0.02
+        # < bcm 0.046 < ar 0.059.
+        t = {name: get_profile(name).hash_time(20) for name in
+             ("xeon-3.2", "geode-lx800", "nokia-n770", "bcm5365", "ar2315")}
+        assert t["xeon-3.2"] < t["geode-lx800"] < t["nokia-n770"] < t["bcm5365"] < t["ar2315"]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("cray-1")
+
+    def test_unknown_pk_operation(self):
+        with pytest.raises(KeyError):
+            get_profile("ar2315").pk_time("rsa1024-sign")
+
+
+class TestHostCalibration:
+    def test_host_profile_sane(self):
+        profile = host_calibrated_profile(samples=20)
+        assert profile.hash_time(20) > 0
+        assert profile.hash_time(1024) >= profile.hash_time(20)
+        assert profile.hash_size == 20
+
+
+class TestEnergy:
+    def test_radio_energy(self):
+        assert SENSOR_ENERGY.radio_energy(1000, 500) == pytest.approx(
+            1000 * 0.60e-6 + 500 * 0.67e-6
+        )
+
+    def test_cpu_energy(self):
+        assert SENSOR_ENERGY.cpu_energy(2.0) == pytest.approx(48e-3)
+
+    def test_total(self):
+        total = SENSOR_ENERGY.total(100, 100, 1.0)
+        assert total == pytest.approx(
+            SENSOR_ENERGY.radio_energy(100, 100) + SENSOR_ENERGY.cpu_energy(1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SENSOR_ENERGY.radio_energy(-1, 0)
+        with pytest.raises(ValueError):
+            SENSOR_ENERGY.cpu_energy(-0.1)
+
+    def test_mesh_vs_sensor_tradeoff(self):
+        # Mesh radios are more efficient per byte but the CPU draw is
+        # orders of magnitude larger.
+        assert MESH_ENERGY.tx_j_per_byte < SENSOR_ENERGY.tx_j_per_byte
+        assert MESH_ENERGY.cpu_j_per_second > SENSOR_ENERGY.cpu_j_per_second

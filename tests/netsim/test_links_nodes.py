@@ -1,0 +1,261 @@
+"""Links, nodes, frames, and forwarding."""
+
+import pytest
+
+from repro.crypto.drbg import DRBG
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.packet import HEADER_BYTES, Frame
+from repro.netsim.simulator import Simulator
+
+
+def two_nodes(config=LinkConfig()):
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    link = net.connect("a", "b", config)
+    net.compute_routes()
+    return net, a, b, link
+
+
+class TestFrame:
+    def test_size_includes_header(self):
+        frame = Frame("a", "b", b"x" * 100)
+        assert frame.size == 100 + HEADER_BYTES
+
+    def test_unique_ids(self):
+        f1 = Frame("a", "b", b"")
+        f2 = Frame("a", "b", b"")
+        assert f1.frame_id != f2.frame_id
+
+    def test_copy_gets_fresh_id_and_deep_metadata(self):
+        f1 = Frame("a", "b", b"p", metadata={"k": 1})
+        f2 = f1.copy()
+        assert f2.frame_id != f1.frame_id
+        f2.metadata["k"] = 2
+        assert f1.metadata["k"] == 1
+
+
+class TestLinkDelivery:
+    def test_basic_delivery(self):
+        net, a, b, _ = two_nodes(LinkConfig(latency_s=0.01, bandwidth_bps=None))
+        got = []
+        b.app_handler = got.append
+        a.send(Frame("a", "b", b"hello"))
+        net.simulator.run()
+        assert [f.payload for f in got] == [b"hello"]
+        assert net.simulator.now == pytest.approx(0.01)
+
+    def test_serialization_delay(self):
+        config = LinkConfig(latency_s=0.0, bandwidth_bps=8000.0)  # 1 kB/s
+        net, a, b, _ = two_nodes(config)
+        b.app_handler = lambda f: None
+        frame = Frame("a", "b", b"x" * (1000 - HEADER_BYTES))
+        a.send(frame)
+        net.simulator.run()
+        assert net.simulator.now == pytest.approx(1.0)
+
+    def test_back_to_back_frames_queue(self):
+        config = LinkConfig(latency_s=0.0, bandwidth_bps=8000.0)
+        net, a, b, _ = two_nodes(config)
+        arrivals = []
+        b.app_handler = lambda f: arrivals.append(net.simulator.now)
+        payload = b"x" * (1000 - HEADER_BYTES)
+        a.send(Frame("a", "b", payload))
+        a.send(Frame("a", "b", payload))
+        net.simulator.run()
+        assert arrivals == pytest.approx([1.0, 2.0])
+
+    def test_loss(self):
+        config = LinkConfig(latency_s=0.001, loss_rate=0.5)
+        net, a, b, link = two_nodes(config)
+        got = []
+        b.app_handler = got.append
+        for _ in range(200):
+            a.send(Frame("a", "b", b"p"))
+        net.simulator.run()
+        assert link.frames_lost + len(got) == 200
+        assert 60 < len(got) < 140  # ~50% with slack
+
+    def test_jitter_can_reorder(self):
+        config = LinkConfig(latency_s=0.001, jitter_s=0.05, bandwidth_bps=None)
+        net, a, b, _ = two_nodes(config)
+        order = []
+        b.app_handler = lambda f: order.append(f.metadata["i"])
+        for i in range(50):
+            a.send(Frame("a", "b", b"p", metadata={"i": i}))
+        net.simulator.run()
+        assert sorted(order) == list(range(50))
+        assert order != list(range(50))  # jitter reordered something
+
+    def test_byte_accounting(self):
+        net, a, b, link = two_nodes()
+        b.app_handler = lambda f: None
+        a.send(Frame("a", "b", b"x" * 10))
+        net.simulator.run()
+        assert link.frames_sent == 1
+        assert link.bytes_sent == 10 + HEADER_BYTES
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            net = Network(seed=seed)
+            net.add_node("a")
+            net.add_node("b")
+            net.connect("a", "b", LinkConfig(latency_s=0.001, jitter_s=0.01, loss_rate=0.3))
+            net.compute_routes()
+            got = []
+            net.nodes["b"].app_handler = lambda f: got.append((f.metadata["i"], net.simulator.now))
+            for i in range(50):
+                net.nodes["a"].send(Frame("a", "b", b"p", metadata={"i": i}))
+            net.simulator.run()
+            return got
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestLinkValidation:
+    def test_self_link_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_node("a")
+        with pytest.raises(ValueError):
+            Link(sim, a, a)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(latency_s=-1)
+        with pytest.raises(ValueError):
+            LinkConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkConfig(bandwidth_bps=0)
+
+    def test_other_endpoint(self):
+        net, a, b, link = two_nodes()
+        assert link.other(a) is b
+        assert link.other(b) is a
+        c = net.add_node("c")
+        with pytest.raises(ValueError):
+            link.other(c)
+
+
+class TestForwarding:
+    def test_multi_hop_forwarding(self):
+        net = Network.chain(3)
+        got = []
+        net.nodes["v"].app_handler = got.append
+        net.nodes["s"].send(Frame("s", "v", b"data"))
+        net.simulator.run()
+        assert len(got) == 1
+        assert net.nodes["r1"].frames_forwarded == 1
+        assert net.nodes["r2"].frames_forwarded == 1
+
+    def test_forward_filter_drops(self):
+        net = Network.chain(3)
+        net.nodes["r1"].forward_filter = lambda frame: False
+        got = []
+        net.nodes["v"].app_handler = got.append
+        net.nodes["s"].send(Frame("s", "v", b"data"))
+        net.simulator.run()
+        assert got == []
+        assert net.nodes["r1"].frames_dropped == 1
+
+    def test_ttl_expiry(self):
+        net = Network.chain(4)
+        got = []
+        net.nodes["v"].app_handler = got.append
+        net.nodes["s"].send(Frame("s", "v", b"data", ttl=1))
+        net.simulator.run()
+        assert got == []
+
+    def test_no_route_raises_for_originator(self):
+        net = Network()
+        net.add_node("lonely")
+        with pytest.raises(LookupError):
+            net.nodes["lonely"].send(Frame("lonely", "nowhere", b""))
+
+    def test_processing_delay_applies(self):
+        net = Network.chain(2, config=LinkConfig(latency_s=0.0, bandwidth_bps=None))
+        net.nodes["r1"].processing_delay = lambda frame, stage: 0.5
+        got = []
+        net.nodes["v"].app_handler = lambda f: got.append(net.simulator.now)
+        net.nodes["s"].send(Frame("s", "v", b"d"))
+        net.simulator.run()
+        assert got == pytest.approx([0.5])
+
+
+class TestTopologies:
+    def test_chain_names_and_path(self):
+        net = Network.chain(4)
+        assert net.path("s", "v") == ["s", "r1", "r2", "r3", "v"]
+        assert [n.name for n in net.relays_between("s", "v")] == ["r1", "r2", "r3"]
+
+    def test_chain_custom_names(self):
+        net = Network.chain(2, names=["x", "y", "z"])
+        assert net.path("x", "z") == ["x", "y", "z"]
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            Network.chain(0)
+        with pytest.raises(ValueError):
+            Network.chain(2, names=["a", "b"])
+
+    def test_grid_connectivity(self):
+        net = Network.grid(3, 3)
+        assert len(net.nodes) == 9
+        path = net.path("n0_0", "n2_2")
+        assert len(path) == 5  # manhattan distance + 1
+
+    def test_grid_delivery(self):
+        net = Network.grid(3, 3)
+        got = []
+        net.nodes["n2_2"].app_handler = got.append
+        net.nodes["n0_0"].send(Frame("n0_0", "n2_2", b"p"))
+        net.simulator.run()
+        assert len(got) == 1
+
+    def test_random_mesh_connected(self):
+        net = Network.random_mesh(12, 20, seed=3)
+        assert len(net.nodes) == 12
+        # Every pair is reachable.
+        for target in net.nodes:
+            if target != "n0":
+                assert net.path("n0", target)
+
+    def test_random_mesh_reproducible(self):
+        n1 = Network.random_mesh(10, 15, seed=1)
+        n2 = Network.random_mesh(10, 15, seed=1)
+        assert {tuple(sorted(n.name for n in l.endpoints)) for l in n1.links} == {
+            tuple(sorted(n.name for n in l.endpoints)) for l in n2.links
+        }
+
+    def test_random_mesh_validation(self):
+        with pytest.raises(ValueError):
+            Network.random_mesh(1, 1)
+        with pytest.raises(ValueError):
+            Network.random_mesh(5, 3)
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+
+class TestLinkPresets:
+    def test_presets_are_valid_and_ordered(self):
+        from repro.netsim.link import MESH_LINK, SENSOR_LINK, WLAN_LINK
+
+        # Sanity: bandwidth ordering matches the paper's three classes.
+        assert WLAN_LINK.bandwidth_bps > MESH_LINK.bandwidth_bps > SENSOR_LINK.bandwidth_bps
+        assert SENSOR_LINK.latency_s > WLAN_LINK.latency_s
+
+    def test_preset_delivers(self):
+        from repro.netsim.link import SENSOR_LINK
+
+        net = Network.chain(1, config=SENSOR_LINK)
+        got = []
+        net.nodes["v"].app_handler = got.append
+        net.nodes["s"].send(Frame("s", "v", b"slow but sure"))
+        net.simulator.run()
+        assert len(got) == 1

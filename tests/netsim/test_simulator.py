@@ -1,0 +1,129 @@
+"""The discrete-event core."""
+
+import pytest
+
+from repro.netsim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_event_releases_references(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, print, "payload")
+        event.cancel()
+        assert event.callback is None
+        assert event.args == ()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.time == 1.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_drained(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,28 @@
+"""Trace collection and summaries."""
+
+from repro.netsim import Network, TraceCollector
+from repro.netsim.packet import Frame
+
+
+class TestTraceCollector:
+    def test_log_and_query(self):
+        trace = TraceCollector()
+        trace.log(1.0, "r1", "drop", "bad mac")
+        trace.log(2.0, "r1", "forward")
+        trace.log(3.0, "r2", "drop")
+        assert trace.count("drop") == 2
+        assert trace.count("drop", node="r1") == 1
+        assert len(trace.by_node("r1")) == 2
+        assert trace.by_event("forward")[0].time == 2.0
+
+    def test_network_summary(self):
+        net = Network.chain(2)
+        net.nodes["v"].app_handler = lambda f: None
+        net.nodes["s"].send(Frame("s", "v", b"x" * 10))
+        net.simulator.run()
+        summary = TraceCollector.network_summary(net)
+        assert summary["nodes"]["r1"]["forwarded"] == 1
+        assert summary["nodes"]["v"]["delivered"] == 1
+        assert summary["total_lost"] == 0
+        assert summary["total_bytes"] > 0
+        assert len(summary["links"]) == 2

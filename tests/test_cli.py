@@ -1,0 +1,31 @@
+"""The ``python -m repro`` command-line surface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "selftest: OK" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "244 kbit/s" in out
+
+    def test_wsn(self, capsys):
+        assert main(["wsn"]) == 0
+        assert "pre-acks" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "established=True" in out
+        assert "dropped=0" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,40 @@
+"""Smoke tests for the runnable examples.
+
+Each example must run to completion as a subprocess and print its
+headline success lines — this pins the examples to the library API so
+refactors cannot silently break them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["verifier received 8 authenticated messages",
+                      "delivery confirmation for 8/8"],
+    "wsn_streaming.py": ["delivered 60/60 readings",
+                         "paper reports 244 kbit/s"],
+    "wmn_bulk_transfer.py": ["transfer complete", "verified S2 blocks"],
+    "middlebox_signaling.py": ["forged updates reaching the server: 0"],
+    "attack_gauntlet.py": ["dropped at first relay: 40",
+                           "forgery possible = False"],
+    "udp_live.py": ["established=True", "8/8 signed delivery confirmations",
+                    "after mobility event"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (script, needle, result.stdout[-2000:])

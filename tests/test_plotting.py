@@ -1,0 +1,53 @@
+"""ASCII plotting used by the figure benches."""
+
+import math
+
+import pytest
+
+from repro.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"up": [(1, 1), (10, 10), (100, 100)]})
+        assert "a=up" in out
+        assert out.count("\n") > 10
+
+    def test_markers_per_series(self):
+        out = ascii_plot({"one": [(1, 1)], "two": [(10, 10)]})
+        assert "a=one" in out and "b=two" in out
+        grid = out.splitlines()
+        assert any("a" in line for line in grid[1:-3])
+        assert any("b" in line for line in grid[1:-3])
+
+    def test_log_and_linear_axes(self):
+        linear = ascii_plot({"s": [(1, 1), (2, 2)]}, log_x=False, log_y=False)
+        assert "1e" not in linear.splitlines()[0]
+        loglog = ascii_plot({"s": [(1, 1), (100, 100)]})
+        assert "(log-log)" in loglog
+
+    def test_nonfinite_points_skipped(self):
+        out = ascii_plot({"s": [(1, 1), (10, math.inf), (100, 100)]})
+        assert "a=s" in out
+
+    def test_nonpositive_skipped_on_log_axis(self):
+        out = ascii_plot({"s": [(1, 1), (10, 0), (100, 100)]})
+        assert "a=s" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_plot({"flat": [(1, 5), (10, 5), (100, 5)]})
+        assert "a=flat" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 0)]})  # no plottable points on log axes
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(1, 1)]}, width=4, height=2)
+
+    def test_labels_in_output(self):
+        out = ascii_plot({"s": [(1, 2), (3, 4)]}, x_label="packets", y_label="bytes")
+        assert "packets" in out and "bytes" in out
