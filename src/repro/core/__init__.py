@@ -22,6 +22,7 @@ from repro.core.hashchain import HashChain, ChainVerifier
 from repro.core.merkle import MerkleTree, verify_merkle_path
 from repro.core.acktree import AckTree, verify_ack_opening
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
 from repro.core.exceptions import (
     AlphaError,
     AuthenticationError,
@@ -41,6 +42,9 @@ __all__ = [
     "verify_ack_opening",
     "AlphaEndpoint",
     "EndpointConfig",
+    "ExchangeFailed",
+    "ResilienceStats",
+    "RttEstimator",
     "AlphaError",
     "AuthenticationError",
     "ChainExhaustedError",

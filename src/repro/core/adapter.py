@@ -41,6 +41,7 @@ class EndpointAdapter:
         self._poll_scheduled = False
         self.received: list[tuple[str, bytes]] = []
         self.reports: list = []
+        self.failures: list = []
         node.app_handler = self._on_frame
 
     # -- application API --------------------------------------------------------
@@ -91,6 +92,7 @@ class EndpointAdapter:
         for peer, message in out.delivered:
             self.received.append((peer, message.message))
         self.reports.extend(out.reports)
+        self.failures.extend(out.failures)
 
     def _transmit(self, dest: str, payload: bytes) -> None:
         self.node.send(

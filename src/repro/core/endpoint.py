@@ -42,6 +42,7 @@ from repro.core.packets import (
     S2Packet,
     decode_packet,
 )
+from repro.core.resilience import ExchangeFailed, ResilienceStats
 from repro.core.signer import ChannelConfig, DeliveryReport, SignerSession
 from repro.core.verifier import DeliveredMessage, VerifierSession
 from repro.crypto.drbg import DRBG
@@ -61,6 +62,20 @@ class EndpointConfig:
     retransmit_timeout_s: float = 0.25
     max_retries: int = 6
     retransmit_policy: RetransmitPolicy = RetransmitPolicy.SELECTIVE_REPEAT
+    #: RFC 6298 timeout adaptation for the S/A interlock (see
+    #: ChannelConfig for the per-knob semantics).
+    adaptive_rto: bool = True
+    rto_min_s: float = 0.05
+    rto_max_s: float = 10.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    #: Consecutive failed exchanges after which the peer is declared
+    #: dead and the association marked DOWN (0 disables detection).
+    dead_peer_threshold: int = 3
+    #: When a peer is declared dead, immediately start a replacement
+    #: handshake and migrate queued traffic onto it; without it, queued
+    #: messages fail terminally and sends raise until reconnected.
+    auto_rebootstrap: bool = False
     resync_window: int = 128
     #: Refuse unauthenticated handshakes from peers.
     require_protected_handshake: bool = False
@@ -85,6 +100,11 @@ class EndpointConfig:
             retransmit_timeout_s=self.retransmit_timeout_s,
             max_retries=self.max_retries,
             retransmit_policy=self.retransmit_policy,
+            adaptive_rto=self.adaptive_rto,
+            rto_min_s=self.rto_min_s,
+            rto_max_s=self.rto_max_s,
+            backoff_factor=self.backoff_factor,
+            backoff_jitter=self.backoff_jitter,
         )
 
 
@@ -108,6 +128,8 @@ class Association:
     replacement_id: int | None = None
     #: True once superseded by a replacement (kept around to drain).
     retired: bool = False
+    #: Dead-peer detection tripped: the peer stopped answering.
+    down: bool = False
 
 
 @dataclass
@@ -117,6 +139,9 @@ class EndpointOutput:
     replies: list[tuple[str, bytes]] = field(default_factory=list)
     delivered: list[tuple[str, DeliveredMessage]] = field(default_factory=list)
     reports: list[tuple[str, DeliveryReport]] = field(default_factory=list)
+    #: Terminal failures: exchanges or handshakes that hit their retry
+    #: cap (dead peer, persistent partition). One entry per exchange.
+    failures: list[tuple[str, ExchangeFailed]] = field(default_factory=list)
 
 
 class AlphaEndpoint:
@@ -137,13 +162,23 @@ class AlphaEndpoint:
         self.hash_fn: HashFunction = get_hash(self.config.hash_name, counter)
         self._by_peer: dict[str, Association] = {}
         self._by_id: dict[int, Association] = {}
+        #: Endpoint-level resilience counters (handshake failures, dead
+        #: peers, parse drops); per-signer counters are folded in by
+        #: :meth:`resilience_stats`.
+        self.stats = ResilienceStats()
 
     # -- association management ------------------------------------------------
 
     def connect(self, peer: str, now: float = 0.0) -> tuple[str, bytes]:
         """Start a dynamic handshake. Returns the HS1 to transmit."""
-        if peer in self._by_peer:
-            raise ProtocolError(f"association with {peer} already exists")
+        existing = self._by_peer.get(peer)
+        if existing is not None:
+            if not existing.down:
+                raise ProtocolError(f"association with {peer} already exists")
+            # Reconnecting after dead-peer detection: retire the DOWN
+            # association and let the fresh handshake supersede it.
+            existing.retired = True
+            del self._by_peer[peer]
         assoc_id = self.rng.random_int(63)
         chains = self._create_chains()
         packet = build_handshake(
@@ -195,10 +230,19 @@ class AlphaEndpoint:
     def send(self, peer: str, message: bytes) -> None:
         """Queue a message for integrity-protected delivery to ``peer``."""
         assoc = self.association(peer)
+        if assoc.down:
+            raise ProtocolError(
+                f"association with {peer} is DOWN (dead peer); reconnect first"
+            )
         if not assoc.established:
             assoc.pending_sends.append(message)
             return
         assoc.signer.submit(message)
+
+    def peer_down(self, peer: str) -> bool:
+        """True once dead-peer detection declared ``peer`` unreachable."""
+        assoc = self._by_peer.get(peer)
+        return assoc is not None and assoc.down
 
     def on_packet(self, data: bytes, src: str, now: float) -> EndpointOutput:
         """Process one received packet; returns packets to send + events."""
@@ -206,6 +250,7 @@ class AlphaEndpoint:
         try:
             packet = decode_packet(data, self.hash_fn.digest_size)
         except PacketError:
+            self.stats.corrupt_drops += 1
             return out
         if isinstance(packet, HandshakePacket):
             self._on_handshake(packet, src, out)
@@ -239,19 +284,22 @@ class AlphaEndpoint:
             if not assoc.established:
                 # Initiator-side HS1 retransmission (the paper notes S1
                 # and A1 class packets need robust retransmission; the
-                # same holds for the optional handshake).
-                if (
-                    assoc.initiator
-                    and now >= assoc.hs_deadline
-                    and assoc.hs_retries < self.config.max_retries
-                ):
-                    assoc.hs_retries += 1
-                    assoc.hs_deadline = now + self.config.retransmit_timeout_s
-                    out.replies.append((assoc.peer, assoc.hs_bytes))
+                # same holds for the optional handshake). The retry cap
+                # is terminal: a handshake against a dead peer must fail
+                # observably, not retransmit forever.
+                if assoc.initiator and now >= assoc.hs_deadline:
+                    if assoc.hs_retries >= self.config.max_retries:
+                        self._fail_handshake(assoc, out)
+                    else:
+                        assoc.hs_retries += 1
+                        assoc.hs_deadline = now + self.config.retransmit_timeout_s
+                        out.replies.append((assoc.peer, assoc.hs_bytes))
                 continue
             self._collect_signer_output(assoc, now, out)
             self._maybe_rekey(assoc, now, out)
             if assoc.retired and assoc.signer.idle:
+                # Preserve the drained association's counters before it goes.
+                self.stats.merge(assoc.signer.stats)
                 del self._by_id[assoc.assoc_id]
         return out
 
@@ -300,6 +348,7 @@ class AlphaEndpoint:
             ),
             config=channel_config,
             assoc_id=assoc_id,
+            peer=peer,
         )
         assoc.verifier = VerifierSession(
             hash_fn=self.hash_fn,
@@ -375,6 +424,7 @@ class AlphaEndpoint:
             self.config.rekey_threshold <= 0
             or not assoc.established
             or assoc.retired
+            or assoc.down
             or not assoc.initiator
             or assoc.replacement_id is not None
         ):
@@ -385,13 +435,19 @@ class AlphaEndpoint:
         )
         if remaining > self.config.rekey_threshold:
             return
+        self._initiate_replacement(assoc, now, out, label="rekey")
+
+    def _initiate_replacement(
+        self, assoc: Association, now: float, out: EndpointOutput, label: str
+    ) -> Association:
+        """Start a fresh handshake that will supersede ``assoc``."""
         new_id = self.rng.random_int(63)
         chains = self._create_chains()
         packet = build_handshake(
             assoc_id=new_id,
             chains=chains,
             hash_name=self.config.hash_name,
-            rng=self.rng.fork(f"rekey:{assoc.peer}:{new_id}"),
+            rng=self.rng.fork(f"{label}:{assoc.peer}:{new_id}"),
             is_response=False,
             identity=self.identity,
         )
@@ -407,6 +463,7 @@ class AlphaEndpoint:
         self._by_id[new_id] = replacement
         assoc.replacement_id = new_id
         out.replies.append((assoc.peer, replacement.hs_bytes))
+        return replacement
 
     def _migrate_if_replacement(self, assoc: Association) -> None:
         """Point the peer mapping at a freshly established replacement."""
@@ -431,3 +488,71 @@ class AlphaEndpoint:
             out.replies.append((assoc.peer, payload))
         for report in assoc.signer.drain_reports():
             out.reports.append((assoc.peer, report))
+        for failure in assoc.signer.drain_failures():
+            out.failures.append((assoc.peer, failure))
+        self._check_dead_peer(assoc, now, out)
+
+    def _check_dead_peer(
+        self, assoc: Association, now: float, out: EndpointOutput
+    ) -> None:
+        """Declare the peer dead after too many consecutive failures."""
+        threshold = self.config.dead_peer_threshold
+        if (
+            threshold <= 0
+            or assoc.down
+            or assoc.retired
+            or assoc.signer.consecutive_failures < threshold
+        ):
+            return
+        assoc.down = True
+        self.stats.dead_peers += 1
+        if self.config.auto_rebootstrap and assoc.replacement_id is None:
+            # Re-bootstrap over the existing handshake path: fresh chains,
+            # fresh association id, queued traffic migrates immediately.
+            replacement = self._initiate_replacement(assoc, now, out, label="reboot")
+            self.stats.rebootstraps += 1
+            while assoc.signer._queue:
+                replacement.pending_sends.append(assoc.signer._queue.popleft())
+            assoc.retired = True
+            if self._by_peer.get(assoc.peer) is assoc:
+                self._by_peer[assoc.peer] = replacement
+        else:
+            # No replacement: surface queued traffic as terminally failed
+            # so callers never wait on a peer that stopped answering.
+            # Drain (rather than use the return value) so the failure is
+            # emitted exactly once.
+            assoc.signer.fail_queued("dead-peer")
+            for failure in assoc.signer.drain_failures():
+                out.failures.append((assoc.peer, failure))
+
+    def _fail_handshake(self, assoc: Association, out: EndpointOutput) -> None:
+        """Tear down a half-open association whose HS1 retries ran out."""
+        assoc.down = True
+        self.stats.exchanges_failed += 1
+        self.stats.dead_peers += 1
+        out.failures.append(
+            (
+                assoc.peer,
+                ExchangeFailed(
+                    peer=assoc.peer,
+                    assoc_id=assoc.assoc_id,
+                    seq=0,
+                    retries=assoc.hs_retries,
+                    reason="handshake-timeout",
+                    messages=list(assoc.pending_sends),
+                ),
+            )
+        )
+        assoc.pending_sends.clear()
+        del self._by_id[assoc.assoc_id]
+        if self._by_peer.get(assoc.peer) is assoc:
+            del self._by_peer[assoc.peer]
+
+    def resilience_stats(self) -> ResilienceStats:
+        """Aggregate counters: endpoint-level plus every live signer."""
+        total = ResilienceStats()
+        total.merge(self.stats)
+        for assoc in self._by_id.values():
+            if assoc.signer is not None:
+                total.merge(assoc.signer.stats)
+        return total

@@ -230,12 +230,21 @@ class ChainVerifier:
         return True
 
     def _prune_derived(self) -> None:
+        # Entries above the horizon can never verify again (a fresh
+        # element would need gap > resync_window); entries at or below
+        # the trusted index are unreachable (derived values are always
+        # strictly above the committed element). The trusted element
+        # itself lives in ``self.trusted``, never in this cache, so the
+        # prune cannot discard it — the filter below keeps every entry
+        # that a legal disclosure or pipelined identity token can still
+        # claim, including the one exactly at the horizon (a commit with
+        # gap == resync_window).
         horizon = self.trusted.index + self.resync_window
         if len(self._derived) > 2 * self.resync_window:
             self._derived = {
                 index: value
                 for index, value in self._derived.items()
-                if index <= horizon
+                if self.trusted.index < index <= horizon
             }
 
     def require(self, element: ChainElement, commit: bool = True) -> None:

@@ -38,6 +38,7 @@ from repro.core.packets import (
     peek_type,
 )
 from repro.core.exceptions import PacketError
+from repro.core.resilience import ResilienceStats
 from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
 from repro.crypto.hashes import HashFunction
 
@@ -61,6 +62,20 @@ class RelayConfig:
     max_s1_allowance: int = 65535
     #: Buffered exchanges per simplex channel.
     max_buffered_exchanges: int = 8
+    #: Evict a buffered exchange untouched for this long (seconds); a
+    #: flooding adversary cannot park state forever. ``None`` disables.
+    exchange_ttl_s: float | None = 30.0
+    #: Hard byte ceiling for one channel's S1/A1 buffers; the oldest
+    #: exchanges are evicted to stay under it. ``None`` disables.
+    max_buffered_bytes: int | None = 65536
+    #: Sequence numbers of evicted exchanges remembered per channel.
+    #: Packets of a *tombstoned* exchange are forwarded unverified
+    #: (graceful degradation: the relay once verified this exchange's
+    #: S1 and chose to shed its state, so eviction must not censor the
+    #: exchange — chain elements are single-use, and dropping would turn
+    #: memory pressure into a permanent delivery black hole). Packets of
+    #: never-seen exchanges still follow ``strict``.
+    evicted_memory: int = 256
 
 
 @dataclass
@@ -99,6 +114,8 @@ class _RelayExchange:
     amt_root: bytes | None = None
     ack_key_value: bytes | None = None
     verified_s2: set[int] = field(default_factory=set)
+    #: Simulated time of the last packet that touched this exchange.
+    last_seen: float = 0.0
 
     @property
     def buffered_bytes(self) -> int:
@@ -117,16 +134,65 @@ class _ChannelObserver:
         sig_anchor: ChainElement,
         ack_anchor: ChainElement,
         config: RelayConfig,
+        resilience: ResilienceStats | None = None,
     ) -> None:
         self._hash = hash_fn
         self.signer_name = signer_name
         self.sig_verifier = ChainVerifier(hash_fn, sig_anchor)
         self.ack_verifier = ChainVerifier(hash_fn, ack_anchor, tags=ACKNOWLEDGMENT_TAGS)
         self.config = config
+        self.resilience = resilience if resilience is not None else ResilienceStats()
         self.exchanges: dict[int, _RelayExchange] = {}
+        # Tombstones of evicted exchanges (insertion-ordered, bounded):
+        # their in-flight packets degrade to unverified forwarding
+        # instead of being censored by the strict unknown-exchange drop.
+        self.evicted: dict[int, None] = {}
         self.s1_allowance = config.initial_s1_allowance
 
-    def on_s1(self, packet: S1Packet, wire_size: int) -> RelayDecision:
+    def prune(self, now: float) -> None:
+        """TTL + capacity eviction of the S1/A1 buffers.
+
+        Called before every packet is judged, so buffer occupancy is
+        bounded no matter what a flooding sender does: stale exchanges
+        age out, and the byte ceiling evicts oldest-first.
+        """
+        ttl = self.config.exchange_ttl_s
+        if ttl is not None:
+            expired = [
+                seq
+                for seq, exchange in self.exchanges.items()
+                if now - exchange.last_seen > ttl
+            ]
+            for seq in expired:
+                self._evict(seq)
+                self.resilience.evictions_ttl += 1
+        self._enforce_byte_cap()
+
+    def _evict(self, seq: int) -> None:
+        """Drop buffered state for ``seq``, leaving a tombstone."""
+        del self.exchanges[seq]
+        self.evicted.pop(seq, None)
+        self.evicted[seq] = None
+        while len(self.evicted) > self.config.evicted_memory:
+            del self.evicted[next(iter(self.evicted))]
+
+    def _enforce_byte_cap(self) -> None:
+        """Evict oldest exchanges until under the byte ceiling.
+
+        Never evicts the last remaining exchange: one in-progress
+        exchange must always fit, or the channel could not make
+        progress at all.
+        """
+        cap = self.config.max_buffered_bytes
+        if cap is not None:
+            while len(self.exchanges) > 1 and self.buffered_bytes > cap:
+                self._evict(min(self.exchanges))
+                self.resilience.evictions_capacity += 1
+
+    def _touch(self, exchange: _RelayExchange, now: float) -> None:
+        exchange.last_seen = now
+
+    def on_s1(self, packet: S1Packet, wire_size: int, now: float = 0.0) -> RelayDecision:
         if wire_size > self.s1_allowance:
             return RelayDecision(False, "s1-over-allowance")
         existing = self.exchanges.get(packet.seq)
@@ -137,6 +203,8 @@ class _ChannelObserver:
                 existing.s1_element.value == packet.chain_element
                 and existing.pre_signatures == packet.pre_signatures
             )
+            if same:
+                self._touch(existing, now)
             return RelayDecision(same, "s1-retransmit" if same else "s1-mismatch")
         if packet.chain_index % 2 == 0:
             # Reformatting-attack defence: S1 tokens are odd-position
@@ -145,7 +213,16 @@ class _ChannelObserver:
         element = ChainElement(packet.chain_index, packet.chain_element)
         if not self.sig_verifier.verify(element):
             if not self.sig_verifier.consume_derived(element):
+                if packet.seq in self.evicted:
+                    # Evicted exchange: its element was consumed when the
+                    # original S1 verified and can never verify again.
+                    # Degrade to unverified forwarding rather than
+                    # censoring the retransmission.
+                    return RelayDecision(True, "s1-evicted-unverified")
                 return RelayDecision(False, "s1-bad-chain-element")
+        # The element verified after all (evicted before commit, or the
+        # derived entry survived): rebuild full state below.
+        self.evicted.pop(packet.seq, None)
         exchange = _RelayExchange(
             seq=packet.seq,
             mode=packet.mode,
@@ -153,21 +230,27 @@ class _ChannelObserver:
             message_count=packet.message_count,
             pre_signatures=list(packet.pre_signatures),
             s1_element=element,
+            last_seen=now,
         )
         self.exchanges[packet.seq] = exchange
         while len(self.exchanges) > self.config.max_buffered_exchanges:
-            del self.exchanges[min(self.exchanges)]
+            self._evict(min(self.exchanges))
+            self.resilience.evictions_capacity += 1
+        self._enforce_byte_cap()
         return RelayDecision(True, "s1-ok", verified=True)
 
-    def on_a1(self, packet: A1Packet) -> RelayDecision:
+    def on_a1(self, packet: A1Packet, now: float = 0.0) -> RelayDecision:
         if packet.ack_index % 2 == 0:
             return RelayDecision(False, "a1-even-position")
         element = ChainElement(packet.ack_index, packet.ack_element)
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.evicted:
+                return RelayDecision(True, "a1-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "a1-unknown-exchange")
             return RelayDecision(True, "a1-unverified")
+        self._touch(exchange, now)
         if exchange.a1_seen:
             # Duplicate A1 (answering an S1 retransmission): the chain
             # element was already consumed, just pass it along.
@@ -185,12 +268,15 @@ class _ChannelObserver:
         self.s1_allowance = min(self.s1_allowance * 2, self.config.max_s1_allowance)
         return RelayDecision(True, "a1-ok", verified=True)
 
-    def on_s2(self, packet: S2Packet) -> RelayDecision:
+    def on_s2(self, packet: S2Packet, now: float = 0.0) -> RelayDecision:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.evicted:
+                return RelayDecision(True, "s2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "s2-unknown-exchange")
             return RelayDecision(True, "s2-unverified")
+        self._touch(exchange, now)
         if self.config.require_a1_for_s2 and not exchange.a1_seen:
             return RelayDecision(False, "s2-unsolicited")
         if exchange.key_value is None:
@@ -216,12 +302,15 @@ class _ChannelObserver:
         ]
         return RelayDecision(True, "s2-ok", verified=True, extracted=extracted)
 
-    def on_a2(self, packet: A2Packet) -> RelayDecision:
+    def on_a2(self, packet: A2Packet, now: float = 0.0) -> RelayDecision:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.evicted:
+                return RelayDecision(True, "a2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "a2-unknown-exchange")
             return RelayDecision(True, "a2-unverified")
+        self._touch(exchange, now)
         if packet.disclosed_index % 2:
             return RelayDecision(False, "a2-odd-position")
         if exchange.ack_key_value is None:
@@ -312,6 +401,8 @@ class RelayEngine:
         self._associations: dict[int, _RelayAssociation] = {}
         self._pending_hs1: dict[int, tuple[str, HandshakePacket]] = {}
         self.stats: dict[str, int] = {}
+        #: Shared by every channel observer: evictions, corrupt drops.
+        self.resilience = ResilienceStats()
         self.extracted: list[ExtractedMessage] = []
 
     def provision(
@@ -331,10 +422,20 @@ class RelayEngine:
             responder=responder,
             hash_name=hash_name,
             forward_channel=_ChannelObserver(
-                self._hash, initiator, initiator_sig_anchor, responder_ack_anchor, self.config
+                self._hash,
+                initiator,
+                initiator_sig_anchor,
+                responder_ack_anchor,
+                self.config,
+                resilience=self.resilience,
             ),
             reverse_channel=_ChannelObserver(
-                self._hash, responder, responder_sig_anchor, initiator_ack_anchor, self.config
+                self._hash,
+                responder,
+                responder_sig_anchor,
+                initiator_ack_anchor,
+                self.config,
+                resilience=self.resilience,
             ),
         )
 
@@ -351,6 +452,7 @@ class RelayEngine:
         try:
             packet = decode_packet(data, self._hash.digest_size)
         except PacketError:
+            self.resilience.corrupt_drops += 1
             return self._count(RelayDecision(False, "malformed"))
         assoc = self._associations.get(packet.assoc_id)
         if assoc is None:
@@ -366,7 +468,7 @@ class RelayEngine:
             ):
                 return self._count(RelayDecision(False, "s1-over-allowance"))
             return self._count(RelayDecision(True, "unknown-association"))
-        decision = self._dispatch(assoc, packet, src, len(data))
+        decision = self._dispatch(assoc, packet, src, len(data), now)
         if decision.extracted:
             self.extracted.extend(decision.extracted)
         return self._count(decision)
@@ -374,8 +476,10 @@ class RelayEngine:
     # -- internals -------------------------------------------------------------
 
     def _dispatch(
-        self, assoc: _RelayAssociation, packet, src: str, wire_size: int
+        self, assoc: _RelayAssociation, packet, src: str, wire_size: int, now: float
     ) -> RelayDecision:
+        assoc.forward_channel.prune(now)
+        assoc.reverse_channel.prune(now)
         from_initiator = src == assoc.initiator
         from_responder = src == assoc.responder
         if not from_initiator and not from_responder:
@@ -384,16 +488,16 @@ class RelayEngine:
             from_initiator = True
         if isinstance(packet, S1Packet):
             channel = assoc.forward_channel if from_initiator else assoc.reverse_channel
-            return channel.on_s1(packet, wire_size)
+            return channel.on_s1(packet, wire_size, now)
         if isinstance(packet, S2Packet):
             channel = assoc.forward_channel if from_initiator else assoc.reverse_channel
-            return channel.on_s2(packet)
+            return channel.on_s2(packet, now)
         if isinstance(packet, A1Packet):
             channel = assoc.reverse_channel if from_initiator else assoc.forward_channel
-            return channel.on_a1(packet)
+            return channel.on_a1(packet, now)
         if isinstance(packet, A2Packet):
             channel = assoc.reverse_channel if from_initiator else assoc.forward_channel
-            return channel.on_a2(packet)
+            return channel.on_a2(packet, now)
         return RelayDecision(True, "handshake")
 
     def _on_hs1(self, data: bytes, src: str) -> RelayDecision:

@@ -1,0 +1,152 @@
+"""Resilience primitives: RTT estimation, failure outcomes, counters.
+
+ALPHA's interlock makes every exchange a request/response pair, so the
+classic TCP machinery applies directly: an RFC 6298 SRTT/RTTVAR
+estimator turns measured round trips into a retransmission timeout,
+exponential backoff with jitter spreads retries under congestion or
+burst loss, and a retry cap converts "the peer is gone" from an
+infinite retransmission loop into a terminal, observable outcome.
+
+The pieces here are deliberately engine-agnostic: the signer session
+owns one :class:`RttEstimator` per association, endpoints/relays/
+transports each own a :class:`ResilienceStats` block, and
+:class:`ExchangeFailed` is the terminal event surfaced through
+``EndpointOutput`` when retries are exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+class RttEstimator:
+    """RFC 6298-style retransmission-timeout estimator.
+
+    ``observe`` feeds a round-trip sample (callers must apply Karn's
+    algorithm: never sample an exchange that was retransmitted);
+    ``backoff`` doubles the timeout after a loss. The RTO is clamped to
+    ``[min_rto_s, max_rto_s]`` and, until the first sample arrives,
+    equals ``initial_rto_s``.
+    """
+
+    ALPHA = 1 / 8  # SRTT gain (RFC 6298 §2.3)
+    BETA = 1 / 4  # RTTVAR gain
+    K = 4  # variance multiplier
+
+    def __init__(
+        self,
+        initial_rto_s: float = 0.25,
+        min_rto_s: float = 0.05,
+        max_rto_s: float = 10.0,
+    ) -> None:
+        if initial_rto_s <= 0 or min_rto_s <= 0 or max_rto_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if min_rto_s > max_rto_s:
+            raise ValueError("min_rto_s must not exceed max_rto_s")
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.srtt: float | None = None
+        self.rttvar: float = 0.0
+        self.samples = 0
+        self._rto = self._clamp(initial_rto_s)
+        self._backed_off = self._rto
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min_rto_s), self.max_rto_s)
+
+    @property
+    def rto(self) -> float:
+        """The current retransmission timeout (with any active backoff)."""
+        return self._backed_off
+
+    def observe(self, rtt_s: float) -> None:
+        """Feed one clean round-trip sample; resets any backoff."""
+        if rtt_s < 0:
+            raise ValueError("RTT samples must be non-negative")
+        if self.srtt is None:
+            self.srtt = rtt_s
+            self.rttvar = rtt_s / 2
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - rtt_s
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt_s
+        self.samples += 1
+        self._rto = self._clamp(self.srtt + self.K * self.rttvar)
+        self._backed_off = self._rto
+
+    def backoff(self, factor: float = 2.0) -> float:
+        """Multiply the timeout after a retransmission; returns the new RTO."""
+        self._backed_off = self._clamp(self._backed_off * factor)
+        return self._backed_off
+
+    def clear_backoff(self) -> None:
+        """Collapse any backoff to the estimated RTO.
+
+        RFC 6298 §5.7: once the peer acknowledges new data the
+        connection is alive again, so the multiplied timeout reverts to
+        the estimate. Without this, Karn's algorithm (which discards
+        retransmitted samples) would pin the RTO at its maximum under
+        sustained loss even though exchanges keep completing.
+        """
+        self._backed_off = self._rto
+
+
+@dataclass
+class ExchangeFailed:
+    """Terminal outcome of an exchange (or handshake) that gave up.
+
+    Surfaced through ``EndpointOutput.failures`` so applications can
+    react (requeue elsewhere, alert, drop) instead of the signer
+    retrying forever against a dead peer.
+    """
+
+    peer: str
+    assoc_id: int
+    seq: int
+    retries: int
+    reason: str
+    #: The undelivered payloads (acked messages are excluded).
+    messages: list[bytes] = field(default_factory=list)
+
+
+@dataclass
+class ResilienceStats:
+    """Counter block shared by endpoints, relays, and transports.
+
+    Every counter is monotonic; ``merge`` folds another block in (used
+    to aggregate per-session counters up to the endpoint), and
+    ``as_dict`` snapshots for assertions and reports.
+    """
+
+    #: Packets sent again after a timeout or nack.
+    retransmits: int = 0
+    #: Times an RTO was multiplied (one per timeout-triggered resend).
+    backoff_events: int = 0
+    #: Clean RTT samples fed to the estimator.
+    rtt_samples: int = 0
+    #: Exchanges/handshakes that hit their retry cap.
+    exchanges_failed: int = 0
+    #: Peers declared dead after consecutive failures.
+    dead_peers: int = 0
+    #: Automatic re-bootstrap handshakes initiated for dead peers.
+    rebootstraps: int = 0
+    #: Relay buffer entries evicted because their TTL expired.
+    evictions_ttl: int = 0
+    #: Relay buffer entries evicted to respect the byte/entry capacity.
+    evictions_capacity: int = 0
+    #: Packets dropped because they failed to parse (truncated/corrupt).
+    corrupt_drops: int = 0
+    #: Datagrams whose processing raised out of the wire parser.
+    malformed_drops: int = 0
+
+    def merge(self, other: "ResilienceStats") -> "ResilienceStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total(self) -> int:
+        return sum(self.as_dict().values())

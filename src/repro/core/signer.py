@@ -24,6 +24,8 @@ from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
 from repro.core.merkle import MerkleTree
 from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
 from repro.core.packets import A1Packet, A2Packet, S1Packet, S2Packet
+from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
+from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction
 
 #: Fixed strings distinguishing pre-acks from pre-nacks
@@ -51,9 +53,21 @@ class ChannelConfig:
     #: the next exchange starts while earlier ones still await their
     #: S2 acks, hiding the interlock RTT.
     max_outstanding: int = 1
+    #: Initial retransmission timeout; with ``adaptive_rto`` it only
+    #: seeds the estimator and measured RTTs take over.
     retransmit_timeout_s: float = 0.25
     max_retries: int = 6
     retransmit_policy: RetransmitPolicy = RetransmitPolicy.SELECTIVE_REPEAT
+    #: RFC 6298-style SRTT/RTTVAR timeout adaptation with exponential
+    #: backoff. Disabled, every retry fires after a fixed
+    #: ``retransmit_timeout_s`` (the pre-resilience behaviour).
+    adaptive_rto: bool = True
+    rto_min_s: float = 0.05
+    rto_max_s: float = 10.0
+    backoff_factor: float = 2.0
+    #: Fractional jitter multiplied onto each backed-off deadline so
+    #: synchronized flows don't retransmit in lockstep. 0 disables.
+    backoff_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -66,6 +80,12 @@ class ChannelConfig:
             raise ValueError("max retries must be non-negative")
         if self.max_outstanding < 1:
             raise ValueError("need at least one outstanding exchange")
+        if self.rto_min_s <= 0 or self.rto_max_s < self.rto_min_s:
+            raise ValueError("need 0 < rto_min_s <= rto_max_s")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be at least 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff jitter must be non-negative")
 
     @property
     def effective_batch(self) -> int:
@@ -113,6 +133,11 @@ class _Exchange:
     deadline: float = 0.0
     retries: int = 0
     ack_key_element: ChainElement | None = None  # disclosed via A2
+    # RTT bookkeeping: when the awaited reply was solicited, and whether
+    # the pending round trip is unambiguous (Karn's algorithm — a
+    # retransmission poisons the sample).
+    sent_at: float = 0.0
+    rtt_clean: bool = True
 
 
 class SignerSession:
@@ -125,18 +150,33 @@ class SignerSession:
         ack_verifier: ChainVerifier,
         config: ChannelConfig,
         assoc_id: int,
+        peer: str = "",
+        rng: DRBG | None = None,
     ) -> None:
         self._hash = hash_fn
         self.chain = sig_chain
         self.ack_verifier = ack_verifier
         self.config = config
         self.assoc_id = assoc_id
+        self.peer = peer
+        # Standalone DRBG (not forked from the endpoint's) so backoff
+        # jitter never perturbs the endpoint's cryptographic draws.
+        self.rng = rng if rng is not None else DRBG(f"signer-jitter:{assoc_id}")
+        self.rtt = RttEstimator(
+            initial_rto_s=config.retransmit_timeout_s,
+            min_rto_s=config.rto_min_s,
+            max_rto_s=config.rto_max_s,
+        )
+        self.stats = ResilienceStats()
         self._queue: deque[bytes] = deque()
         self._exchanges: dict[int, _Exchange] = {}
         self._next_seq = 1
         self.reports: list[DeliveryReport] = []
+        self.failures: list[ExchangeFailed] = []
         self.exchanges_completed = 0
         self.exchanges_failed = 0
+        #: Exchange failures since the last success; dead-peer signal.
+        self.consecutive_failures = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -179,7 +219,9 @@ class SignerSession:
                 self._fail_exchange(exchange)
                 continue
             exchange.retries += 1
-            exchange.deadline = now + self.config.retransmit_timeout_s
+            exchange.rtt_clean = False  # Karn: the next reply is ambiguous
+            exchange.deadline = now + self._backed_off_timeout()
+            self.stats.retransmits += 1
             if exchange.state is ExchangeState.AWAIT_A1:
                 out.append(exchange.s1_bytes)
             elif exchange.state is ExchangeState.AWAIT_A2:
@@ -209,6 +251,14 @@ class SignerSession:
         if packet.echo_sig_element != exchange.s1_element.value:
             return []  # acknowledges someone else's S1
         exchange.a1_ack_element = ack_element
+        if exchange.rtt_clean and self.config.adaptive_rto:
+            # Unambiguous S1 -> A1 round trip: feed the estimator.
+            self.rtt.observe(max(0.0, now - exchange.sent_at))
+            self.stats.rtt_samples += 1
+        elif self.config.adaptive_rto:
+            # Ambiguously-timed reply (Karn forbids sampling it), but it
+            # still proves the peer alive: collapse backoff (§5.7).
+            self.rtt.clear_backoff()
         if exchange.reliable:
             exchange.pre_acks = list(packet.pre_acks)
             exchange.pre_nacks = list(packet.pre_nacks)
@@ -217,7 +267,9 @@ class SignerSession:
         if exchange.reliable:
             exchange.state = ExchangeState.AWAIT_A2
             exchange.retries = 0
-            exchange.deadline = now + self.config.retransmit_timeout_s
+            exchange.sent_at = now
+            exchange.rtt_clean = True
+            exchange.deadline = now + self._current_timeout()
         else:
             self._complete_exchange(exchange, delivered=None)
         return s2_packets
@@ -236,6 +288,8 @@ class SignerSession:
             exchange.ack_key_element = disclosed
         elif disclosed.value != exchange.ack_key_element.value:
             return []
+        if self.config.adaptive_rto:
+            self.rtt.clear_backoff()  # authentic A2: the peer is alive
         key = exchange.ack_key_element.value
         for verdict in packet.verdicts:
             if not 0 <= verdict.msg_index < len(exchange.messages):
@@ -253,7 +307,9 @@ class SignerSession:
         if exchange.nacked:
             out = self._retransmit_s2(exchange, only=exchange.nacked)
             exchange.nacked.clear()
-            exchange.deadline = now + self.config.retransmit_timeout_s
+            exchange.rtt_clean = False
+            exchange.deadline = now + self._current_timeout()
+            self.stats.retransmits += 1
             return out
         return []
 
@@ -304,9 +360,26 @@ class SignerSession:
             s1_bytes=s1_bytes,
             trees=trees,
             per_tree=per_tree,
-            deadline=now + self.config.retransmit_timeout_s,
+            deadline=now + self._current_timeout(),
+            sent_at=now,
         )
         return s1_bytes
+
+    def _current_timeout(self) -> float:
+        """Timeout for a fresh transmission (no extra backoff)."""
+        if self.config.adaptive_rto:
+            return self.rtt.rto
+        return self.config.retransmit_timeout_s
+
+    def _backed_off_timeout(self) -> float:
+        """Timeout after a retransmission: backoff plus jitter."""
+        if not self.config.adaptive_rto:
+            return self.config.retransmit_timeout_s
+        timeout = self.rtt.backoff(self.config.backoff_factor)
+        self.stats.backoff_events += 1
+        if self.config.backoff_jitter:
+            timeout *= 1.0 + self.rng.uniform(0.0, self.config.backoff_jitter)
+        return timeout
 
     def _build_s2_packets(self, exchange: _Exchange) -> list[bytes]:
         packets = []
@@ -373,6 +446,7 @@ class SignerSession:
     def _complete_exchange(self, exchange: _Exchange, delivered: bool | None) -> None:
         exchange.state = ExchangeState.DONE
         self.exchanges_completed += 1
+        self.consecutive_failures = 0
         if delivered is not None:
             for index, message in enumerate(exchange.messages):
                 self.reports.append(
@@ -382,18 +456,59 @@ class SignerSession:
 
     def _fail_exchange(self, exchange: _Exchange) -> None:
         exchange.state = ExchangeState.FAILED
+        # The next exchange starts from the RTO estimate, not this one's
+        # terminal backoff; persistent unreachability is dead-peer
+        # detection's job, not an ever-growing timer's.
+        self.rtt.clear_backoff()
         self.exchanges_failed += 1
+        self.consecutive_failures += 1
+        self.stats.exchanges_failed += 1
         for index, message in enumerate(exchange.messages):
             delivered = index in exchange.acked
             self.reports.append(
                 DeliveryReport(exchange.seq, index, message, delivered)
             )
+        self.failures.append(
+            ExchangeFailed(
+                peer=self.peer,
+                assoc_id=self.assoc_id,
+                seq=exchange.seq,
+                retries=exchange.retries,
+                reason="retry-cap",
+                messages=[
+                    message
+                    for index, message in enumerate(exchange.messages)
+                    if index not in exchange.acked
+                ],
+            )
+        )
         self._exchanges.pop(exchange.seq, None)
 
     def drain_reports(self) -> list[DeliveryReport]:
         """Return and clear accumulated delivery reports."""
         reports, self.reports = self.reports, []
         return reports
+
+    def drain_failures(self) -> list[ExchangeFailed]:
+        """Return and clear terminal exchange failures."""
+        failures, self.failures = self.failures, []
+        return failures
+
+    def fail_queued(self, reason: str) -> list[ExchangeFailed]:
+        """Fail every not-yet-started message (dead peer, no re-bootstrap)."""
+        if not self._queue:
+            return []
+        failure = ExchangeFailed(
+            peer=self.peer,
+            assoc_id=self.assoc_id,
+            seq=0,
+            retries=0,
+            reason=reason,
+            messages=list(self._queue),
+        )
+        self._queue.clear()
+        self.failures.append(failure)
+        return [failure]
 
 
 def _build_tree_slices(

@@ -17,6 +17,7 @@ from repro.netsim.packet import Frame
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.node import Node
 from repro.netsim.network import Network
+from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.trace import TraceCollector
 
 __all__ = [
@@ -27,5 +28,7 @@ __all__ = [
     "LinkConfig",
     "Node",
     "Network",
+    "FaultEvent",
+    "FaultSchedule",
     "TraceCollector",
 ]

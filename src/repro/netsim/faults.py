@@ -1,0 +1,173 @@
+"""Scheduled fault injection for simulation runs.
+
+A :class:`FaultSchedule` attaches to a :class:`~repro.netsim.network.Network`
+and plants failure events on its simulator *before* the run starts: link
+up/down windows, node crash/restart cycles, and network partitions. All
+randomness (for churn generation) flows through the network's DRBG fork,
+so a seeded run replays its exact failure history.
+
+This is the half of resilience testing the link-level models cannot
+express: a Gilbert–Elliott link damages frames one at a time, while a
+fault schedule removes whole topology elements for macroscopic windows —
+the "link churn" and "node failure" conditions the RPL/CSM literature
+shows chained-authentication schemes struggle with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import DRBG
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, kept for post-run inspection."""
+
+    time: float
+    kind: str  # "link-down" | "link-up" | "node-crash" | "node-restart" | ...
+    subject: str
+
+
+@dataclass
+class FaultSchedule:
+    """Plants deterministic failure events on a network's simulator."""
+
+    network: object
+    rng: DRBG | None = None
+    #: Every fault planted, in scheduling order (not firing order).
+    planned: list[FaultEvent] = field(default_factory=list)
+    #: Every fault that actually fired, in simulated-time order.
+    fired: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = self.network.rng.fork("faults")
+
+    # -- link faults -----------------------------------------------------------
+
+    def link_down(
+        self,
+        a: str,
+        b: str,
+        at: float,
+        duration: float | None = None,
+        reroute: bool = True,
+    ) -> None:
+        """Take the a—b link down at ``at``; restore after ``duration``."""
+        self._plan(at, "link-down", f"{a}|{b}")
+        self.network.simulator.schedule_at(at, self._fail_link, a, b, reroute)
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            self._plan(at + duration, "link-up", f"{a}|{b}")
+            self.network.simulator.schedule_at(at + duration, self._restore_link, a, b)
+
+    def link_churn(
+        self,
+        a: str,
+        b: str,
+        start: float,
+        end: float,
+        mean_up_s: float,
+        mean_down_s: float,
+    ) -> int:
+        """Generate exponential up/down windows for one link.
+
+        Returns the number of down windows planted. The draw sequence
+        depends only on this schedule's DRBG, so a seed replays the same
+        churn pattern.
+        """
+        if end <= start:
+            raise ValueError("end must be after start")
+        if mean_up_s <= 0 or mean_down_s <= 0:
+            raise ValueError("mean up/down times must be positive")
+        windows = 0
+        t = start + self.rng.expovariate(1.0 / mean_up_s)
+        while t < end:
+            down_for = min(self.rng.expovariate(1.0 / mean_down_s), end - t)
+            if down_for > 0:
+                self.link_down(a, b, at=t, duration=down_for)
+                windows += 1
+            t += down_for + self.rng.expovariate(1.0 / mean_up_s)
+        return windows
+
+    # -- node faults -----------------------------------------------------------
+
+    def node_crash(self, name: str, at: float, restart_at: float | None = None) -> None:
+        """Crash a node (radio dead, state preserved) and maybe restart it."""
+        if name not in self.network.nodes:
+            raise LookupError(f"no node named {name!r}")
+        self._plan(at, "node-crash", name)
+        self.network.simulator.schedule_at(at, self._set_node_up, name, False)
+        if restart_at is not None:
+            if restart_at <= at:
+                raise ValueError("restart must come after the crash")
+            self._plan(restart_at, "node-restart", name)
+            self.network.simulator.schedule_at(restart_at, self._set_node_up, name, True)
+
+    def partition(
+        self,
+        group: list[str],
+        at: float,
+        duration: float | None = None,
+        reroute: bool = True,
+    ) -> None:
+        """Cut every link between ``group`` and the rest of the network.
+
+        The crossing links are computed when the partition *fires*, so a
+        partition composes with earlier topology changes.
+        """
+        members = set(group)
+        unknown = members - set(self.network.nodes)
+        if unknown:
+            raise LookupError(f"unknown nodes in partition: {sorted(unknown)}")
+        self._plan(at, "partition", "|".join(sorted(members)))
+        self.network.simulator.schedule_at(at, self._partition_now, members, duration, reroute)
+
+    # -- internals -------------------------------------------------------------
+
+    def _plan(self, time: float, kind: str, subject: str) -> None:
+        self.planned.append(FaultEvent(time, kind, subject))
+
+    def _record(self, kind: str, subject: str) -> None:
+        self.fired.append(FaultEvent(self.network.simulator.now, kind, subject))
+
+    def _fail_link(self, a: str, b: str, reroute: bool) -> None:
+        # Overlapping windows are legal; only the first cut acts.
+        if self.network._graph.has_edge(a, b):
+            self.network.fail_link(a, b, reroute=reroute)
+            self._record("link-down", f"{a}|{b}")
+
+    def _restore_link(self, a: str, b: str) -> None:
+        if not self.network._graph.has_edge(a, b):
+            self.network.restore_link(a, b)
+            self._record("link-up", f"{a}|{b}")
+
+    def _set_node_up(self, name: str, up: bool) -> None:
+        self.network.nodes[name].up = up
+        self._record("node-restart" if up else "node-crash", name)
+
+    def _partition_now(self, members: set, duration: float | None, reroute: bool) -> None:
+        crossing = []
+        for edge_a, edge_b in list(self.network._graph.edges):
+            if (edge_a in members) != (edge_b in members):
+                crossing.append((edge_a, edge_b))
+        for edge_a, edge_b in crossing:
+            self.network.fail_link(edge_a, edge_b, reroute=False)
+            self._record("link-down", f"{edge_a}|{edge_b}")
+        if reroute:
+            self.network._reroute()
+        self._record("partition", "|".join(sorted(members)))
+        if duration is not None:
+            self.network.simulator.schedule(
+                duration, self._heal_partition, crossing, reroute
+            )
+
+    def _heal_partition(self, crossing: list, reroute: bool) -> None:
+        for edge_a, edge_b in crossing:
+            if not self.network._graph.has_edge(edge_a, edge_b):
+                self.network.restore_link(edge_a, edge_b)
+                self._record("link-up", f"{edge_a}|{edge_b}")
+        if reroute:
+            self.network._reroute()

@@ -31,6 +31,9 @@ class Node:
     def __init__(self, simulator: Simulator, name: str) -> None:
         self.simulator = simulator
         self.name = name
+        #: Administratively alive. A crashed node (see netsim.faults) keeps
+        #: its state but neither sends nor receives — its radio is gone.
+        self.up = True
         self.links: list = []
         # destination name -> link to the next hop
         self.routes: dict[str, object] = {}
@@ -53,6 +56,9 @@ class Node:
 
     def send(self, frame: Frame) -> None:
         """Originate a frame from this node towards its destination."""
+        if not self.up:
+            self.frames_dropped += 1
+            return
         link = self.routes.get(frame.destination)
         if link is None:
             raise LookupError(f"{self.name} has no route to {frame.destination}")
@@ -61,6 +67,9 @@ class Node:
 
     def receive(self, frame: Frame, link) -> None:
         """Entry point for frames arriving over ``link``."""
+        if not self.up:
+            self.frames_dropped += 1
+            return
         if frame.destination == self.name:
             self._deliver(frame)
             return

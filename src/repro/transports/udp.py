@@ -20,6 +20,7 @@ import socket
 import time
 
 from repro.core.endpoint import AlphaEndpoint
+from repro.core.resilience import ResilienceStats
 
 _MAX_DATAGRAM = 65507
 
@@ -45,6 +46,10 @@ class UdpTransport:
         self._names_by_address: dict[tuple[str, int], str] = {}
         self.received: list[tuple[str, bytes]] = []
         self.reports: list = []
+        self.failures: list = []
+        #: Transport-level counters: datagrams whose processing raised
+        #: out of the wire parser (malformed, truncated, hostile input).
+        self.stats = ResilienceStats()
         self.closed = False
 
     @property
@@ -89,7 +94,15 @@ class UdpTransport:
                 src = self._names_by_address.get(address)
                 if src is None:
                     continue  # unknown sender: not in the peer directory
-                out = self.endpoint.on_packet(data, src, self._clock())
+                try:
+                    out = self.endpoint.on_packet(data, src, self._clock())
+                except Exception:
+                    # A malformed or hostile datagram must never take the
+                    # event loop down: drop it, count it, keep pumping.
+                    # (The endpoint already swallows clean PacketErrors;
+                    # this guards against parse bugs deeper in the stack.)
+                    self.stats.malformed_drops += 1
+                    continue
                 self._dispatch(out)
         out = self.endpoint.poll(self._clock())
         self._dispatch(out)
@@ -119,12 +132,20 @@ class UdpTransport:
 
     # -- internals ---------------------------------------------------------------
 
+    def resilience_stats(self) -> ResilienceStats:
+        """Transport counters merged with the endpoint's aggregate."""
+        total = ResilienceStats()
+        total.merge(self.stats)
+        total.merge(self.endpoint.resilience_stats())
+        return total
+
     def _dispatch(self, out) -> None:
         for peer, payload in out.replies:
             self._transmit(peer, payload)
         for peer, message in out.delivered:
             self.received.append((peer, message.message))
         self.reports.extend(out.reports)
+        self.failures.extend(out.failures)
 
     def _transmit(self, peer: str, payload: bytes) -> None:
         address = self._peer_addresses.get(peer)

@@ -174,3 +174,72 @@ class TestVerifier:
         chain, _ = make(sha1, rng)
         with pytest.raises(ValueError):
             ChainVerifier(sha1, chain.anchor, resync_window=0)
+
+
+class TestResyncEdges:
+    """Edge behaviour at the resync window and around cache pruning.
+
+    Regression coverage for the interaction between gap-walk commits,
+    the derived-value cache, and ``_prune_derived``: a prune must never
+    discard an entry a legal disclosure or pipelined identity token can
+    still claim, and must never touch the trusted element (which lives
+    in ``verifier.trusted``, not the cache).
+    """
+
+    def test_gap_exactly_at_window_leaves_skipped_elements_claimable(
+        self, sha1, rng
+    ):
+        chain = HashChain(sha1, rng.random_bytes(20), 64)
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=4)
+        assert verifier.verify(chain.element(60))  # gap == window
+        # Every element skipped by the walk — and the old trusted anchor
+        # — was derived as a by-product and stays disclosable.
+        for index in (61, 62, 63, 64):
+            assert verifier.verify_disclosure(chain.element(index))
+
+    def test_gap_window_plus_one_rejected_without_side_effects(self, sha1, rng):
+        chain = HashChain(sha1, rng.random_bytes(20), 64)
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=4)
+        assert not verifier.verify(chain.element(59))  # gap 5 > window 4
+        assert verifier.trusted.index == 64
+        assert not verifier._derived  # rejection cached nothing
+        assert verifier.verify(chain.element(63))  # chain still advances
+
+    def test_prune_keeps_horizon_entry_and_drops_stale_ones(self, sha1, rng):
+        # With window 2 the prune fires once the cache holds more than
+        # 4 entries. Three gap-2 commits get there: 64->62 caches
+        # {63, 64}, ->60 caches {61, 62}, ->58 caches {59, 60} and
+        # triggers the prune with horizon 58 + 2 = 60.
+        chain = HashChain(sha1, rng.random_bytes(20), 64)
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=2)
+        for index in (62, 60, 58):
+            assert verifier.verify(chain.element(index))
+        assert sorted(verifier._derived) == [59, 60]
+        # The entry exactly at the horizon (a commit with gap == window
+        # produced it) must survive; entries above it can never verify
+        # again and are gone.
+        assert verifier.verify_disclosure(chain.element(60))
+        assert verifier.verify_disclosure(chain.element(59))
+        assert not verifier.verify_disclosure(chain.element(61))
+
+    def test_prune_never_discards_trusted_element(self, sha1, rng):
+        chain = HashChain(sha1, rng.random_bytes(20), 64)
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=2)
+        for index in (62, 60, 58):
+            assert verifier.verify(chain.element(index))
+        # The trusted element is held in ``trusted`` itself, never in
+        # the cache, so the prune cannot invalidate forward progress.
+        assert verifier.trusted.index not in verifier._derived
+        assert verifier.trusted == chain.element(58)
+        assert verifier.verify(chain.element(57))  # gap 1 still works
+
+    def test_consume_derived_single_use_across_prune(self, sha1, rng):
+        chain = HashChain(sha1, rng.random_bytes(20), 64)
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=2)
+        for index in (62, 60, 58):
+            assert verifier.verify(chain.element(index))
+        # A forged claim must not burn the genuine cache entry ...
+        assert not verifier.consume_derived(ChainElement(60, b"\x00" * 20))
+        # ... which then authenticates exactly once.
+        assert verifier.consume_derived(chain.element(60))
+        assert not verifier.consume_derived(chain.element(60))

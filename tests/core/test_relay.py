@@ -265,3 +265,145 @@ class TestFloodMitigation:
         assert harness.relay.stats["a1-ok"] == 1
         assert harness.relay.stats["s2-ok"] == 1
         assert harness.relay.stats["forwarded"] == 3
+
+
+class TestRelayEviction:
+    """TTL + capacity bounds on the relay's S1/A1 buffers."""
+
+    def run_s1_only_exchange(self, harness, message, now):
+        """One exchange whose S1 transits the relay at time ``now``.
+
+        The A1/S2 legs bypass the relay so the buffered state stays
+        exactly one S1's worth, and the signer frees up for the next
+        exchange.
+        """
+        harness.signer.submit(message)
+        s1_raw = harness.signer.poll(now)[0]
+        decision = harness.relay.handle(s1_raw, "s", "v", now)
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), now)
+        harness.signer.handle_a1(decode_packet(a1_raw, H), now)
+        harness.verifier.drain_delivered()
+        return decision
+
+    def test_ttl_evicts_stale_exchanges(self, sha1, rng):
+        relay_config = RelayConfig(exchange_ttl_s=30.0, max_buffered_bytes=None)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        self.run_s1_only_exchange(harness, b"old", now=0.0)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert len(channel.exchanges) == 1
+        # 40 s later the buffered exchange has aged past its TTL; the
+        # next transit packet triggers the prune.
+        self.run_s1_only_exchange(harness, b"new", now=40.0)
+        assert list(channel.exchanges) == [2]
+        assert harness.relay.resilience.evictions_ttl == 1
+
+    def test_recent_exchange_survives_prune(self, sha1, rng):
+        relay_config = RelayConfig(exchange_ttl_s=30.0, max_buffered_bytes=None)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        self.run_s1_only_exchange(harness, b"a", now=0.0)
+        self.run_s1_only_exchange(harness, b"b", now=20.0)  # touches nothing old
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert sorted(channel.exchanges) == [1, 2]
+        assert harness.relay.resilience.evictions_ttl == 0
+
+    def test_byte_capacity_evicts_oldest(self, sha1, rng):
+        # Base-mode S1 buffers one 20-byte pre-signature per exchange;
+        # a 50-byte ceiling holds two exchanges, not three.
+        relay_config = RelayConfig(exchange_ttl_s=None, max_buffered_bytes=50)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        for i, t in enumerate((0.0, 1.0, 2.0, 3.0)):
+            self.run_s1_only_exchange(harness, b"m%d" % i, now=t)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert channel.buffered_bytes <= 50
+        assert sorted(channel.exchanges) == [3, 4]  # oldest evicted first
+        assert harness.relay.resilience.evictions_capacity == 2
+
+    def test_exchange_count_cap_counts_evictions(self, sha1, rng):
+        relay_config = RelayConfig(
+            exchange_ttl_s=None, max_buffered_bytes=None, max_buffered_exchanges=2
+        )
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        for i, t in enumerate((0.0, 1.0, 2.0)):
+            self.run_s1_only_exchange(harness, b"m%d" % i, now=t)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert sorted(channel.exchanges) == [2, 3]
+        assert harness.relay.resilience.evictions_capacity == 1
+
+    def test_eviction_disabled_when_none(self, sha1, rng):
+        relay_config = RelayConfig(exchange_ttl_s=None, max_buffered_bytes=None)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        for i, t in enumerate((0.0, 100.0, 200.0)):
+            self.run_s1_only_exchange(harness, b"m%d" % i, now=t)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert sorted(channel.exchanges) == [1, 2, 3]
+        assert harness.relay.resilience.evictions_ttl == 0
+        assert harness.relay.resilience.evictions_capacity == 0
+
+
+class TestEvictionTombstones:
+    """Eviction must shed memory, not censor in-flight exchanges."""
+
+    def start_exchange(self, harness, message, now, through_relay=True):
+        """Run an exchange up to S2-in-hand; returns (s1_raw, s2_raws)."""
+        harness.signer.submit(message)
+        s1_raw = harness.signer.poll(now)[0]
+        if through_relay:
+            assert harness.relay.handle(s1_raw, "s", "v", now).forward
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), now)
+        s2_raws = harness.signer.handle_a1(decode_packet(a1_raw, H), now)
+        return s1_raw, s2_raws
+
+    def test_evicted_exchange_degrades_to_unverified_forwarding(self, sha1, rng):
+        relay_config = RelayConfig(exchange_ttl_s=30.0, max_buffered_bytes=None)
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        s1_raw, s2_raws = self.start_exchange(harness, b"slow", now=0.0)
+        # The exchange idles past its TTL; a later exchange's transit
+        # packet triggers the prune that evicts it.
+        self.start_exchange(harness, b"fresh", now=40.0)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert 1 not in channel.exchanges
+        assert harness.relay.resilience.evictions_ttl == 1
+        # Late packets of the evicted exchange still cross the relay —
+        # unverified (the chain element is single-use and was consumed
+        # when the original S1 verified), never censored.
+        decision = harness.relay.handle(s2_raws[0], "s", "v", 40.0)
+        assert decision.forward
+        assert decision.reason == "s2-evicted-unverified"
+        # An S1 retransmission can even *re-verify*: the later exchange's
+        # gap walk re-derived this element, so the relay rebuilds full
+        # verified state from the packet.
+        decision = harness.relay.handle(s1_raw, "s", "v", 40.0)
+        assert decision.forward
+        assert decision.reason == "s1-ok"
+        # Evict it a second time; the derived entry is now consumed, so
+        # this time the retransmission degrades to the tombstone path.
+        self.start_exchange(harness, b"fresher", now=80.0)
+        assert 1 not in harness.relay._associations[ASSOC].forward_channel.exchanges
+        decision = harness.relay.handle(s1_raw, "s", "v", 80.0)
+        assert decision.forward
+        assert decision.reason == "s1-evicted-unverified"
+
+    def test_never_seen_exchange_still_dropped_when_strict(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        # This exchange's S1 never transits the relay, so its S2 hits
+        # the strict unknown-exchange drop, not the tombstone path.
+        _, s2_raws = self.start_exchange(
+            harness, b"hidden", now=0.0, through_relay=False
+        )
+        decision = harness.relay.handle(s2_raws[0], "s", "v", 0.0)
+        assert not decision.forward
+        assert decision.reason == "s2-unknown-exchange"
+
+    def test_tombstone_memory_is_bounded(self, sha1, rng):
+        relay_config = RelayConfig(
+            exchange_ttl_s=None,
+            max_buffered_bytes=None,
+            max_buffered_exchanges=1,
+            evicted_memory=4,
+        )
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        for i in range(8):
+            self.start_exchange(harness, b"m%d" % i, now=float(i))
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert len(channel.evicted) == 4
+        assert sorted(channel.evicted) == [4, 5, 6, 7]  # newest kept

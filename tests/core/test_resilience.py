@@ -1,0 +1,388 @@
+"""Resilience layer: RTO adaptation, dead peers, eviction, failures.
+
+Covers the pieces added on top of the protocol engines: the RFC 6298
+estimator, adaptive retransmission in the signer, terminal exchange
+failure, dead-peer detection with optional auto re-bootstrap, relay
+buffer eviction (TTL and byte capacity), and the stats plumbing that
+surfaces all of it.
+"""
+
+import pytest
+
+from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+from repro.core.exceptions import ProtocolError
+from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier, HashChain
+from repro.core.packets import decode_packet
+from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
+from repro.core.signer import ChannelConfig, SignerSession
+from repro.core.verifier import VerifierSession
+
+ASSOC = 99
+
+
+def make_channel(sha1, rng, config=None, chain_length=64):
+    if config is None:
+        config = ChannelConfig()
+    sig_chain = HashChain(sha1, rng.random_bytes(20), chain_length)
+    ack_chain = HashChain(
+        sha1, rng.random_bytes(20), chain_length, tags=ACKNOWLEDGMENT_TAGS
+    )
+    signer = SignerSession(
+        hash_fn=sha1,
+        sig_chain=sig_chain,
+        ack_verifier=ChainVerifier(sha1, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
+        config=config,
+        assoc_id=ASSOC,
+        peer="v",
+    )
+    verifier = VerifierSession(
+        hash_fn=sha1,
+        ack_chain=ack_chain,
+        sig_verifier=ChainVerifier(sha1, sig_chain.anchor),
+        assoc_id=ASSOC,
+        rng=rng.fork("secrets"),
+    )
+    return signer, verifier
+
+
+class TestRttEstimator:
+    def test_initial_rto(self):
+        est = RttEstimator(initial_rto_s=0.25)
+        assert est.rto == 0.25
+        assert est.srtt is None
+
+    def test_first_sample_seeds_srtt(self):
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01)
+        est.observe(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_ewma_smooths_later_samples(self):
+        est = RttEstimator(min_rto_s=0.001)
+        est.observe(0.1)
+        est.observe(0.2)
+        assert est.srtt == pytest.approx(0.1 * 7 / 8 + 0.2 / 8)
+        assert est.samples == 2
+
+    def test_backoff_doubles_and_clamps(self):
+        est = RttEstimator(initial_rto_s=1.0, max_rto_s=5.0)
+        assert est.backoff() == 2.0
+        assert est.backoff() == 4.0
+        assert est.backoff() == 5.0  # clamped
+        assert est.rto == 5.0
+
+    def test_sample_resets_backoff(self):
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01)
+        est.backoff()
+        est.backoff()
+        est.observe(0.1)
+        assert est.rto == pytest.approx(0.3)
+
+    def test_clear_backoff_keeps_estimate(self):
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01)
+        est.observe(0.1)
+        backed = est.backoff()
+        assert backed > 0.3
+        est.clear_backoff()
+        assert est.rto == pytest.approx(0.3)
+        assert est.srtt == pytest.approx(0.1)  # estimate untouched
+
+    def test_min_clamp(self):
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.5)
+        est.observe(0.001)
+        assert est.rto == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto_s=0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto_s=2.0, max_rto_s=1.0)
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.observe(-0.1)
+
+
+class TestAdaptiveSigner:
+    def adaptive_config(self, **kw):
+        defaults = dict(
+            retransmit_timeout_s=0.5,
+            max_retries=8,
+            adaptive_rto=True,
+            backoff_jitter=0.0,  # exact deadlines for assertions
+        )
+        defaults.update(kw)
+        return ChannelConfig(**defaults)
+
+    def test_clean_rtt_sample_feeds_estimator(self, sha1, rng):
+        signer, verifier = make_channel(sha1, rng, self.adaptive_config())
+        signer.submit(b"m")
+        s1 = decode_packet(signer.poll(0.0)[0], 20)
+        a1 = decode_packet(verifier.handle_s1(s1, 0.1), 20)
+        signer.handle_a1(a1, 0.1)
+        assert signer.stats.rtt_samples == 1
+        assert signer.rtt.srtt == pytest.approx(0.1)
+
+    def test_karn_retransmitted_exchange_not_sampled(self, sha1, rng):
+        signer, verifier = make_channel(sha1, rng, self.adaptive_config())
+        signer.submit(b"m")
+        s1 = decode_packet(signer.poll(0.0)[0], 20)
+        # The S1 times out once before the A1 arrives.
+        retrans = signer.poll(0.6)
+        assert retrans  # retransmitted
+        a1 = decode_packet(verifier.handle_s1(s1, 0.7), 20)
+        signer.handle_a1(a1, 0.7)
+        assert signer.stats.rtt_samples == 0
+        assert signer.rtt.srtt is None
+
+    def test_timeout_backs_off_exponentially(self, sha1, rng):
+        signer, _ = make_channel(sha1, rng, self.adaptive_config())
+        signer.submit(b"m")
+        signer.poll(0.0)
+        (exchange,) = signer._exchanges.values()
+        assert exchange.deadline == pytest.approx(0.5)
+        signer.poll(0.5)  # retry 1: RTO doubles to 1.0
+        assert exchange.deadline == pytest.approx(1.5)
+        signer.poll(1.5)  # retry 2: RTO doubles to 2.0
+        assert exchange.deadline == pytest.approx(3.5)
+        assert signer.stats.backoff_events == 2
+        assert signer.stats.retransmits == 2
+
+    def test_backoff_jitter_spreads_deadlines(self, sha1, rng):
+        config = self.adaptive_config(backoff_jitter=0.5)
+        signer, _ = make_channel(sha1, rng, config)
+        signer.submit(b"m")
+        signer.poll(0.0)
+        (exchange,) = signer._exchanges.values()
+        signer.poll(0.5)
+        # Backed-off deadline lands in (0.5 + 1.0, 0.5 + 1.5].
+        assert 1.5 < exchange.deadline <= 2.0
+
+    def test_fixed_mode_never_backs_off(self, sha1, rng):
+        config = self.adaptive_config(adaptive_rto=False)
+        signer, _ = make_channel(sha1, rng, config)
+        signer.submit(b"m")
+        signer.poll(0.0)
+        (exchange,) = signer._exchanges.values()
+        signer.poll(0.5)
+        assert exchange.deadline == pytest.approx(1.0)
+        assert signer.stats.backoff_events == 0
+
+    def test_retry_cap_surfaces_exchange_failed(self, sha1, rng):
+        config = self.adaptive_config(max_retries=2, adaptive_rto=False)
+        signer, _ = make_channel(sha1, rng, config)
+        signer.submit(b"doomed")
+        now = 0.0
+        signer.poll(now)
+        for _ in range(4):
+            now += 1.0
+            signer.poll(now)
+        failures = signer.drain_failures()
+        assert len(failures) == 1
+        failure = failures[0]
+        assert isinstance(failure, ExchangeFailed)
+        assert failure.reason == "retry-cap"
+        assert failure.peer == "v"
+        assert failure.messages == [b"doomed"]
+        assert signer.consecutive_failures == 1
+
+    def test_terminal_failure_resets_backoff_for_next_exchange(self, sha1, rng):
+        config = self.adaptive_config(max_retries=1)
+        signer, _ = make_channel(sha1, rng, config)
+        signer.submit(b"one")
+        signer.submit(b"two")
+        signer.poll(0.0)
+        signer.poll(0.5)  # retry 1 (backs off to 1.0)
+        packets = signer.poll(2.0)  # fail, start next exchange
+        assert len(packets) == 1
+        (exchange,) = signer._exchanges.values()
+        # Fresh exchange starts from the estimate, not the dead one's
+        # terminal backoff.
+        assert exchange.deadline == pytest.approx(2.5)
+
+
+def establish(a, b):
+    _, hs1 = a.connect(b.name)
+    out = b.on_packet(hs1, a.name, 0.0)
+    a.on_packet(out.replies[0][1], b.name, 0.0)
+
+
+class TestDeadPeerDetection:
+    def make_endpoints(self, **cfg):
+        defaults = dict(
+            chain_length=64,
+            retransmit_timeout_s=0.5,
+            max_retries=1,
+            dead_peer_threshold=2,
+            adaptive_rto=False,
+            rekey_threshold=0,
+        )
+        defaults.update(cfg)
+        config = EndpointConfig(**defaults)
+        a = AlphaEndpoint("a", config, seed=1)
+        b = AlphaEndpoint("b", config, seed=2)
+        establish(a, b)
+        return a, b
+
+    def kill_peer_and_drain(self, a, rounds=12):
+        """Poll ``a`` with the peer silent until failures accumulate."""
+        failures = []
+        now = 0.0
+        for _ in range(rounds):
+            now += 1.0
+            failures.extend(a.poll(now).failures)
+        return failures
+
+    def test_association_goes_down_after_threshold(self):
+        a, _ = self.make_endpoints()
+        for i in range(3):
+            a.send("b", b"msg-%d" % i)
+        self.kill_peer_and_drain(a)
+        assert a.peer_down("b")
+        assert a.stats.dead_peers == 1
+
+    def test_queued_messages_fail_terminally(self):
+        a, _ = self.make_endpoints()
+        for i in range(5):
+            a.send("b", b"msg-%d" % i)
+        failures = self.kill_peer_and_drain(a)
+        reasons = {f.reason for _, f in failures}
+        assert "retry-cap" in reasons
+        assert "dead-peer" in reasons
+        # Every submitted payload shows up in exactly one failure.
+        failed_payloads = [m for _, f in failures for m in f.messages]
+        assert sorted(failed_payloads) == sorted(b"msg-%d" % i for i in range(5))
+
+    def test_send_to_down_peer_raises(self):
+        a, _ = self.make_endpoints()
+        for i in range(3):
+            a.send("b", b"msg-%d" % i)
+        self.kill_peer_and_drain(a)
+        assert a.peer_down("b")
+        with pytest.raises(ProtocolError, match="DOWN"):
+            a.send("b", b"too late")
+
+    def test_reconnect_after_down_allowed(self):
+        a, b = self.make_endpoints()
+        for i in range(3):
+            a.send("b", b"msg-%d" % i)
+        self.kill_peer_and_drain(a)
+        assert a.peer_down("b")
+        # The peer comes back; an explicit reconnect supersedes the DOWN
+        # association and traffic flows again.
+        _, hs1 = a.connect("b")
+        out = b.on_packet(hs1, "a", 100.0)
+        a.on_packet(out.replies[0][1], "b", 100.0)
+        assert not a.peer_down("b")
+        a.send("b", b"hello again")
+        out = a.poll(100.1)
+        assert out.replies  # fresh S1 on the wire
+
+    def test_auto_rebootstrap_migrates_queue(self):
+        a, b = self.make_endpoints(auto_rebootstrap=True)
+        for i in range(4):
+            a.send("b", b"msg-%d" % i)
+        # Peer silent: exchanges fail, dead-peer trips, a replacement
+        # handshake goes out automatically (in the same poll's replies).
+        now = 0.0
+        hs_bytes = None
+        for _ in range(12):
+            now += 1.0
+            replies = a.poll(now).replies
+            if a.stats.rebootstraps:
+                hs_bytes = replies[-1][1]  # the freshly emitted HS1
+                break
+        assert a.stats.rebootstraps == 1
+        assert hs_bytes is not None
+        assert decode_packet(hs_bytes, 20).__class__.__name__ == "HandshakePacket"
+        # The peer answers the re-bootstrap promptly (before the
+        # replacement handshake's own retry cap); queued traffic flows
+        # on the fresh association.
+        out = b.on_packet(hs_bytes, "a", now)
+        a.on_packet(out.replies[0][1], "b", now)
+        assoc = a.association("b")
+        assert assoc.established and not assoc.down
+        delivered = []
+        for _ in range(30):
+            now += 0.1
+            for src, dst in ((a, b), (b, a)):
+                for _, data in src.poll(now).replies:
+                    result = dst.on_packet(data, src.name, now)
+                    delivered.extend(m.message for _, m in result.delivered)
+                    for _, data2 in result.replies:
+                        result2 = src.on_packet(data2, dst.name, now)
+                        delivered.extend(m.message for _, m in result2.delivered)
+                        for _, data3 in result2.replies:
+                            result3 = dst.on_packet(data3, src.name, now)
+                            delivered.extend(
+                                m.message for _, m in result3.delivered
+                            )
+        # The messages that had not terminally failed before the
+        # re-bootstrap arrive on the new chains.
+        assert delivered
+        assert set(delivered) <= {b"msg-%d" % i for i in range(4)}
+
+    def test_handshake_retry_cap_is_terminal(self):
+        config = EndpointConfig(
+            chain_length=64, retransmit_timeout_s=0.5, max_retries=2
+        )
+        a = AlphaEndpoint("a", config, seed=7)
+        a.connect("b")
+        a.send("b", b"never-sent")
+        failures = []
+        now = 0.0
+        for _ in range(8):
+            now += 1.0
+            failures.extend(a.poll(now).failures)
+        assert len(failures) == 1
+        peer, failure = failures[0]
+        assert peer == "b"
+        assert failure.reason == "handshake-timeout"
+        assert failure.messages == [b"never-sent"]
+        # The half-open association is gone and the endpoint is idle —
+        # no infinite HS1 loop, no wedged busy flag.
+        assert "b" not in a.peers
+        assert not a.busy
+
+    def test_zero_threshold_disables_detection(self):
+        a, _ = self.make_endpoints(dead_peer_threshold=0)
+        for i in range(5):
+            a.send("b", b"msg-%d" % i)
+        self.kill_peer_and_drain(a, rounds=30)
+        assert not a.peer_down("b")
+
+
+class TestStatsPlumbing:
+    def test_merge_and_as_dict(self):
+        left = ResilienceStats(retransmits=2, dead_peers=1)
+        right = ResilienceStats(retransmits=3, evictions_ttl=4)
+        left.merge(right)
+        assert left.retransmits == 5
+        assert left.evictions_ttl == 4
+        assert left.as_dict()["dead_peers"] == 1
+        assert left.total() == 10
+
+    def test_endpoint_aggregates_signer_counters(self):
+        config = EndpointConfig(
+            chain_length=64,
+            retransmit_timeout_s=0.5,
+            max_retries=1,
+            adaptive_rto=False,
+            dead_peer_threshold=0,
+        )
+        a = AlphaEndpoint("a", config, seed=1)
+        b = AlphaEndpoint("b", config, seed=2)
+        establish(a, b)
+        a.send("b", b"x")
+        for now in (1.0, 2.0, 3.0):
+            a.poll(now)
+        stats = a.resilience_stats()
+        assert stats.retransmits >= 1
+        assert stats.exchanges_failed == 1
+
+    def test_corrupt_packet_counted_not_raised(self):
+        config = EndpointConfig(chain_length=64)
+        a = AlphaEndpoint("a", config, seed=1)
+        out = a.on_packet(b"\xff\x00garbage", "b", 0.0)
+        assert out.replies == []
+        assert a.stats.corrupt_drops == 1

@@ -289,7 +289,9 @@ class TestTimeouts:
         assert retrans == first  # byte-identical S1
 
     def test_exchange_fails_after_max_retries(self, sha1, rng):
-        config = ChannelConfig(retransmit_timeout_s=1.0, max_retries=2)
+        config = ChannelConfig(
+            retransmit_timeout_s=1.0, max_retries=2, adaptive_rto=False
+        )
         signer, _ = make_channel(sha1, rng, config)
         signer.submit(b"m")
         signer.poll(0.0)
@@ -303,7 +305,9 @@ class TestTimeouts:
         assert not reports[0].delivered
 
     def test_next_exchange_starts_after_failure(self, sha1, rng):
-        config = ChannelConfig(retransmit_timeout_s=1.0, max_retries=1)
+        config = ChannelConfig(
+            retransmit_timeout_s=1.0, max_retries=1, adaptive_rto=False
+        )
         signer, verifier = make_channel(sha1, rng, config)
         signer.submit(b"dead")
         signer.submit(b"alive")

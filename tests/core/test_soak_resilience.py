@@ -1,0 +1,165 @@
+"""Soak tests: hours of hostile-network behaviour in simulated time.
+
+Excluded from the tier-1 run (``-m soak`` to include). A signer talks to
+a verifier across two verifying relays while the links burst-lose,
+duplicate, and corrupt frames and a scheduled fault takes the middle
+link down mid-run. The resilience layer — adaptive RTO, bounded relay
+buffers, dead-peer detection — must turn that hostility into either
+eventual delivery or clean, observable failure, never a wedge or
+unbounded memory.
+"""
+
+import pytest
+
+from repro.core.adapter import EndpointAdapter, RelayAdapter
+from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+from repro.core.modes import Mode, ReliabilityMode
+from repro.netsim import Network
+from repro.netsim.faults import FaultSchedule
+from repro.netsim.link import LinkConfig
+
+#: ~16% average loss per hop in correlated bursts, plus duplication —
+#: each of the four packet legs crosses three such hops. Corruption is
+#: deliberately off for the *delivery* soak: a corrupted-but-chain-valid
+#: S1 variant that wins the race to a relay poisons that exchange's
+#: buffer (chain elements are single-use, so the genuine retransmission
+#: can never re-authenticate — first-wins is the reformatting-attack
+#: defence working as designed), and the exchange then correctly fails
+#: at the retry cap instead of delivering. See PROTOCOL.md, "Failure
+#: handling & tuning". Corruption handling (drop, count, never wedge)
+#: is asserted by the tier-1 suite.
+BURSTY = LinkConfig(
+    latency_s=0.002,
+    jitter_s=0.001,
+    ge_p_bad=0.1,
+    ge_p_good=0.4,
+    ge_loss_bad=0.8,
+    duplicate_rate=0.02,
+)
+
+
+def build_mesh(config, seed, link=BURSTY):
+    """signer -> r1 -> r2 -> verifier over hostile links."""
+    net = Network.chain(3, config=link, seed=seed)
+    s = EndpointAdapter(AlphaEndpoint("s", config, seed=f"{seed}-s"), net.nodes["s"])
+    v = EndpointAdapter(AlphaEndpoint("v", config, seed=f"{seed}-v"), net.nodes["v"])
+    relays = [RelayAdapter(net.nodes["r1"]), RelayAdapter(net.nodes["r2"])]
+    return net, s, v, relays
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize(
+    "mode,batch",
+    [(Mode.BASE, 1), (Mode.CUMULATIVE, 4), (Mode.MERKLE, 4)],
+)
+def test_soak_eventual_delivery_under_bursts_and_churn(mode, batch):
+    config = EndpointConfig(
+        mode=mode,
+        batch_size=batch,
+        reliability=ReliabilityMode.RELIABLE,
+        chain_length=2048,
+        retransmit_timeout_s=0.25,
+        max_retries=60,
+        rto_max_s=5.0,  # adaptive, but keep the soak's tail bounded
+        # A long burst plus the churn window can fail exchanges
+        # back-to-back; this soak asserts delivery, so the association
+        # must survive it. Dead-peer teardown has its own soak below.
+        dead_peer_threshold=0,
+    )
+    net, s, v, relays = build_mesh(config, seed=42)
+    faults = FaultSchedule(net)
+    # Mid-run outages shortly after traffic starts (sends happen at
+    # t=20). The chain has a single path, so keep routes and let the
+    # dead link swallow frames (jammed radio, not a topology change).
+    faults.link_down("r1", "r2", at=22.0, duration=4.0, reroute=False)
+    faults.link_down("s", "r1", at=28.0, duration=2.0, reroute=False)
+
+    s.connect("v")
+    net.simulator.run(until=20.0)
+    assert s.established("v")
+
+    messages = [b"soak-%d" % i for i in range(24)]
+    for m in messages:
+        s.send("v", m)
+
+    # Advance in slices so relay memory is sampled *during* the storm,
+    # not just after it drains.
+    cap = relays[0].engine.config.max_buffered_bytes
+    for _ in range(120):  # up to 600 s simulated
+        net.simulator.run(until=net.simulator.now + 5.0)
+        for relay in relays:
+            assert relay.engine.buffered_bytes <= cap
+        # Reports trail delivery (the signer learns from the A2 leg),
+        # so wait for both before declaring the storm survived.
+        if (
+            sorted(m for _, m in v.received) == sorted(messages)
+            and len(s.reports) == len(messages)
+        ):
+            break
+    assert sorted(m for _, m in v.received) == sorted(messages)
+    # Let the fault schedule drain (delivery may beat the second
+    # window's restore event) before checking it fired completely.
+    net.simulator.run(until=max(net.simulator.now, 31.0))
+    # Every message got a verdict (no wedge). A ``delivered=False``
+    # report can be a false negative — the verifier has the message but
+    # the acknowledgment leg died — so assert report completeness, not
+    # the signer's bookkeeping optimism; actual delivery is asserted
+    # above against the verifier.
+    reports = [r for _, r in s.reports]
+    assert len(reports) == len(messages)
+    assert sorted(r.message for r in reports) == sorted(messages)
+
+    # The adaptive machinery did real work getting there.
+    stats = s.endpoint.resilience_stats()
+    assert stats.rtt_samples > 0
+    assert stats.retransmits > 0
+    assert stats.backoff_events > 0
+    # The fault schedule actually fired, and the bursty channel bit.
+    assert {e.kind for e in faults.fired} == {"link-down", "link-up"}
+    lost_burst = sum(l.frames_lost_burst for l in net.links)
+    assert lost_burst > 0
+
+
+@pytest.mark.soak
+def test_soak_permanent_partition_fails_cleanly():
+    # The middle link dies and never comes back: every queued message
+    # must surface as a terminal ExchangeFailed (retry cap, then
+    # dead-peer queue dump), the association must go DOWN, and the
+    # signer must end idle — hostile networks may starve ALPHA, but
+    # they must not wedge it or leak state.
+    config = EndpointConfig(
+        mode=Mode.BASE,
+        chain_length=512,
+        retransmit_timeout_s=0.2,
+        max_retries=4,
+        rto_max_s=2.0,
+        dead_peer_threshold=2,
+    )
+    net, s, v, relays = build_mesh(
+        config, seed=7, link=LinkConfig(latency_s=0.002)
+    )
+    faults = FaultSchedule(net)
+    faults.link_down("r1", "r2", at=5.0, duration=10_000.0, reroute=False)
+
+    s.connect("v")
+    net.simulator.run(until=1.0)
+    assert s.established("v")
+    s.send("v", b"before-the-cut")
+    net.simulator.run(until=5.0)
+    assert [m for _, m in v.received] == [b"before-the-cut"]
+
+    doomed = [b"doomed-%d" % i for i in range(6)]
+    for m in doomed:
+        s.send("v", m)
+    net.simulator.run(until=300.0)
+
+    assert [m for _, m in v.received] == [b"before-the-cut"]
+    assoc = s.endpoint.association("v")
+    assert assoc.down
+    assert assoc.signer.idle
+    failed = [f for _, f in s.failures]
+    assert sorted(m for f in failed for m in f.messages) == sorted(doomed)
+    assert {f.reason for f in failed} == {"retry-cap", "dead-peer"}
+    stats = s.endpoint.resilience_stats()
+    assert stats.dead_peers == 1
+    assert stats.exchanges_failed >= 2

@@ -1,0 +1,226 @@
+"""Fault injection: burst loss, duplication, corruption, and schedules."""
+
+import pytest
+
+from repro.netsim.link import HOSTILE_LINK, LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.netsim.packet import Frame
+
+
+def two_nodes(config=LinkConfig(), seed=0):
+    net = Network(seed=seed)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    link = net.connect("a", "b", config)
+    net.compute_routes()
+    return net, a, b, link
+
+
+class TestGilbertElliott:
+    def test_bursty_loss_clusters(self):
+        # A bursty channel at the same average loss produces longer loss
+        # runs than an independent channel.
+        def loss_run_lengths(config, seed):
+            net, a, b, link = two_nodes(config, seed=seed)
+            got = []
+            b.app_handler = lambda f: got.append(f.metadata["i"])
+            for i in range(2000):
+                a.send(Frame("a", "b", b"p", metadata={"i": i}))
+            net.simulator.run()
+            lost = sorted(set(range(2000)) - set(got))
+            runs, current = [], 0
+            previous = None
+            for i in lost:
+                if previous is not None and i == previous + 1:
+                    current += 1
+                else:
+                    if current:
+                        runs.append(current)
+                    current = 1
+                previous = i
+            if current:
+                runs.append(current)
+            return runs, link
+
+        # GE: enter bad 5% of frames, leave 20%, lose 80% while bad
+        # -> stationary bad-state share 0.2, average loss ~0.16.
+        ge = LinkConfig(
+            latency_s=0.001, ge_p_bad=0.05, ge_p_good=0.2, ge_loss_bad=0.8
+        )
+        independent = LinkConfig(latency_s=0.001, loss_rate=0.16)
+        ge_runs, ge_link = loss_run_lengths(ge, seed=4)
+        ind_runs, _ = loss_run_lengths(independent, seed=4)
+        assert ge_link.frames_lost_burst > 0
+        assert max(ge_runs) > max(ind_runs)
+
+    def test_zero_p_bad_is_pure_independent_loss(self):
+        config = LinkConfig(latency_s=0.001, loss_rate=0.3)
+        net, a, b, link = two_nodes(config, seed=9)
+        got = []
+        b.app_handler = got.append
+        for _ in range(300):
+            a.send(Frame("a", "b", b"p"))
+        net.simulator.run()
+        assert link.frames_lost_burst == 0
+        assert link.frames_lost + len(got) == 300
+
+    def test_ge_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig(ge_p_bad=1.0)
+        with pytest.raises(ValueError):
+            LinkConfig(ge_p_good=0.0)
+        with pytest.raises(ValueError):
+            LinkConfig(ge_loss_bad=1.5)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            config = LinkConfig(
+                latency_s=0.001, ge_p_bad=0.2, ge_p_good=0.3, ge_loss_bad=0.9
+            )
+            net, a, b, _ = two_nodes(config, seed=seed)
+            got = []
+            b.app_handler = lambda f: got.append(f.metadata["i"])
+            for i in range(200):
+                a.send(Frame("a", "b", b"p", metadata={"i": i}))
+            net.simulator.run()
+            return got
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestDuplicationCorruption:
+    def test_duplicates_arrive_twice(self):
+        config = LinkConfig(latency_s=0.001, duplicate_rate=0.5)
+        net, a, b, link = two_nodes(config, seed=2)
+        got = []
+        b.app_handler = lambda f: got.append(f.metadata["i"])
+        for i in range(100):
+            a.send(Frame("a", "b", b"p", metadata={"i": i}))
+        net.simulator.run()
+        assert link.frames_duplicated > 20
+        assert len(got) == 100 + link.frames_duplicated
+        assert set(got) == set(range(100))  # nothing lost, some doubled
+
+    def test_corruption_flips_exactly_one_bit(self):
+        config = LinkConfig(latency_s=0.001, corrupt_rate=1.0)
+        net, a, b, link = two_nodes(config, seed=5)
+        got = []
+        b.app_handler = got.append
+        original = b"\x00" * 32
+        a.send(Frame("a", "b", original))
+        net.simulator.run()
+        assert link.frames_corrupted == 1
+        (frame,) = got
+        assert frame.metadata.get("corrupted") is True
+        diff = [x ^ y for x, y in zip(original, frame.payload)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_corruption_does_not_mutate_senders_frame(self):
+        config = LinkConfig(latency_s=0.001, corrupt_rate=1.0)
+        net, a, b, _ = two_nodes(config, seed=5)
+        b.app_handler = lambda f: None
+        frame = Frame("a", "b", b"\xff" * 8)
+        a.send(frame)
+        net.simulator.run()
+        assert frame.payload == b"\xff" * 8
+
+    def test_hostile_preset_valid(self):
+        assert HOSTILE_LINK.ge_p_bad > 0
+        assert HOSTILE_LINK.duplicate_rate > 0
+        assert HOSTILE_LINK.corrupt_rate > 0
+
+
+class TestFaultSchedule:
+    def test_link_down_window_drops_then_recovers(self):
+        net, a, b, link = two_nodes(LinkConfig(latency_s=0.001))
+        faults = FaultSchedule(net)
+        # reroute=False: a—b is the only path, so keep the routes and let
+        # the dead link swallow frames (a jammed radio, not a topology
+        # change — with rerouting, a routeless originator raises).
+        faults.link_down("a", "b", at=1.0, duration=1.0, reroute=False)
+        got = []
+        b.app_handler = lambda f: got.append(f.metadata["t"])
+        for t in (0.5, 1.5, 2.5):
+            net.simulator.schedule_at(
+                t, a.send, Frame("a", "b", b"p", metadata={"t": t})
+            )
+        net.simulator.run()
+        assert got == [0.5, 2.5]
+        kinds = [e.kind for e in faults.fired]
+        assert kinds == ["link-down", "link-up"]
+
+    def test_overlapping_windows_are_idempotent(self):
+        net, a, b, _ = two_nodes()
+        faults = FaultSchedule(net)
+        faults.link_down("a", "b", at=1.0, duration=2.0)
+        faults.link_down("a", "b", at=1.5, duration=0.1)  # nested window
+        net.simulator.run(until=5.0)
+        # Only the first cut and the first restore act.
+        assert [e.kind for e in faults.fired] == ["link-down", "link-up"]
+        assert net._graph.has_edge("a", "b")
+
+    def test_node_crash_and_restart(self):
+        net = Network.chain(2, config=LinkConfig(latency_s=0.001))
+        faults = FaultSchedule(net)
+        faults.node_crash("r1", at=1.0, restart_at=2.0)
+        got = []
+        net.nodes["v"].app_handler = lambda f: got.append(f.metadata["t"])
+        for t in (0.5, 1.5, 2.5):
+            net.simulator.schedule_at(
+                t,
+                net.nodes["s"].send,
+                Frame("s", "v", b"p", metadata={"t": t}),
+            )
+        net.simulator.run()
+        assert got == [0.5, 2.5]
+        assert net.nodes["r1"].up
+
+    def test_partition_cuts_and_heals(self):
+        net = Network.grid(2, 2)  # n0_0 n0_1 n1_0 n1_1
+        faults = FaultSchedule(net)
+        faults.partition(["n0_0"], at=1.0, duration=1.0, reroute=False)
+        got = []
+        net.nodes["n1_1"].app_handler = lambda f: got.append(f.metadata["t"])
+        for t in (0.5, 1.5, 2.5):
+            net.simulator.schedule_at(
+                t,
+                net.nodes["n0_0"].send,
+                Frame("n0_0", "n1_1", b"p", metadata={"t": t}),
+            )
+        net.simulator.run()
+        assert got == [0.5, 2.5]
+        down = [e for e in faults.fired if e.kind == "link-down"]
+        up = [e for e in faults.fired if e.kind == "link-up"]
+        assert len(down) == len(up) == 2  # both of n0_0's grid links
+
+    def test_churn_is_deterministic_per_seed(self):
+        def plan(seed):
+            net, _, _, _ = two_nodes(seed=seed)
+            faults = FaultSchedule(net)
+            faults.link_churn("a", "b", start=0.0, end=60.0, mean_up_s=5.0, mean_down_s=1.0)
+            return [(e.time, e.kind) for e in faults.planned]
+
+        assert plan(1) == plan(1)
+        assert plan(1) != plan(2)
+        assert any(kind == "link-down" for _, kind in plan(1))
+
+    def test_validation(self):
+        net, _, _, _ = two_nodes()
+        faults = FaultSchedule(net)
+        with pytest.raises(ValueError):
+            faults.link_down("a", "b", at=1.0, duration=0.0)
+        with pytest.raises(LookupError):
+            faults.node_crash("ghost", at=1.0)
+        with pytest.raises(ValueError):
+            faults.node_crash("a", at=2.0, restart_at=1.0)
+        with pytest.raises(LookupError):
+            faults.partition(["a", "ghost"], at=1.0)
+        with pytest.raises(ValueError):
+            faults.link_churn("a", "b", start=5.0, end=1.0, mean_up_s=1, mean_down_s=1)
+
+    def test_fault_events_are_frozen_records(self):
+        event = FaultEvent(1.0, "link-down", "a|b")
+        with pytest.raises(Exception):
+            event.time = 2.0

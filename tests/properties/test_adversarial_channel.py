@@ -82,6 +82,9 @@ def test_channel_invariants(schedule, seed):
         batch_size=n_messages,
         retransmit_timeout_s=0.5,
         max_retries=3,
+        # The bounded-round liveness check below assumes fixed-interval
+        # retries; adaptive backoff legitimately stretches past it.
+        adaptive_rto=False,
     )
     signer, verifier = make_channel(sha1, rng, config, chain_length=256)
     channel = HostileChannel(script, corrupt_offsets)

@@ -1,0 +1,109 @@
+"""Exactly-once delivery under duplication (property test).
+
+A hostile channel that only *duplicates* — never drops — must not be
+able to make the verifier deliver a payload twice: the relay forwards a
+repeated S1 (reason ``s1-retransmit``) rather than re-verifying it, and
+the verifier's per-exchange ``delivered`` set absorbs S2 retransmits.
+Because nothing is lost, the property is exactly-once: every submitted
+message is delivered, and no (seq, msg_index) pair appears twice.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import decode_packet
+from repro.core.signer import ChannelConfig
+from repro.crypto.drbg import DRBG
+from repro.crypto.hashes import get_hash
+
+from tests.core.test_relay import Harness
+
+H = 20
+
+
+@st.composite
+def plans(draw):
+    mode = draw(st.sampled_from([Mode.BASE, Mode.CUMULATIVE, Mode.MERKLE]))
+    batch = 1 if mode is Mode.BASE else draw(st.integers(min_value=2, max_value=4))
+    reliability = draw(st.sampled_from(list(ReliabilityMode)))
+    n_exchanges = draw(st.integers(min_value=1, max_value=3))
+    # How many copies of each transmitted packet cross the wire; the
+    # schedule is consumed round-robin, one entry per send.
+    copies = draw(st.lists(st.integers(min_value=1, max_value=3),
+                           min_size=8, max_size=40))
+    return mode, batch, reliability, n_exchanges, copies
+
+
+class Duplicator:
+    def __init__(self, copies):
+        self.copies = list(copies)
+        self.step = 0
+
+    def fan_out(self, payload):
+        count = self.copies[self.step % len(self.copies)]
+        self.step += 1
+        return [payload] * count
+
+
+@given(plan=plans(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_duplication_never_double_delivers(plan, seed):
+    mode, batch, reliability, n_exchanges, copies = plan
+    sha1 = get_hash("sha1")
+    rng = DRBG(seed, personalization=b"no-double-delivery")
+    config = ChannelConfig(mode=mode, batch_size=batch, reliability=reliability)
+    harness = Harness(sha1, rng, config)
+    wire = Duplicator(copies)
+
+    submitted = []
+    s1_retransmits = 0
+    duplicated_s1 = False
+    for exchange in range(n_exchanges):
+        now = float(exchange)
+        messages = [b"x%d-%d" % (exchange, i) for i in range(batch)]
+        submitted.extend(messages)
+        for message in messages:
+            harness.signer.submit(message)
+
+        a1_raws = []
+        for s1_raw in harness.signer.poll(now):
+            fan = wire.fan_out(s1_raw)
+            duplicated_s1 = duplicated_s1 or len(fan) > 1
+            for copy in fan:
+                decision = harness.relay.handle(copy, "s", "v", now)
+                if decision.reason == "s1-retransmit":
+                    s1_retransmits += 1
+                if not decision.forward:
+                    continue
+                a1 = harness.verifier.handle_s1(decode_packet(copy, H), now)
+                if a1 is not None:
+                    a1_raws.append(a1)
+
+        s2_raws = []
+        for a1_raw in a1_raws:
+            for copy in wire.fan_out(a1_raw):
+                if not harness.relay.handle(copy, "v", "s", now).forward:
+                    continue
+                s2_raws.extend(harness.signer.handle_a1(decode_packet(copy, H), now))
+
+        for s2_raw in s2_raws:
+            for copy in wire.fan_out(s2_raw):
+                if not harness.relay.handle(copy, "s", "v", now).forward:
+                    continue
+                a2 = harness.verifier.handle_s2(decode_packet(copy, H), now)
+                if a2 is None:
+                    continue
+                for back in wire.fan_out(a2):
+                    if harness.relay.handle(back, "v", "s", now).forward:
+                        harness.signer.handle_a2(decode_packet(back, H), now)
+
+    delivered = harness.verifier.delivered
+    # Exactly-once: nothing was dropped, so everything submitted arrives
+    # — and duplication must not inflate the count.
+    assert sorted(d.message for d in delivered) == sorted(submitted)
+    keys = [(d.seq, d.msg_index) for d in delivered]
+    assert len(keys) == len(set(keys))
+    # Duplicate S1 copies took the relay's retransmit path rather than
+    # re-committing the hash-chain verifier.
+    if duplicated_s1:
+        assert s1_retransmits >= 1

@@ -224,3 +224,57 @@ class TestMemoryNetworkRelayDrops:
         net.send("a", "b", b"fine")
         assert net.received_by("b") == [b"fine"]
         assert net.dropped_by_relay == 0
+
+
+class TestUdpMalformedDatagrams:
+    def make_pair(self, config=None):
+        return TestUdpTransport.make_pair(self, config)
+
+    def pump_both(self, ta, tb, predicate, timeout_s=5.0):
+        return TestUdpTransport.pump_both(self, ta, tb, predicate, timeout_s)
+
+    def test_garbage_from_known_peer_does_not_kill_the_pump(self):
+        ta, tb = self.make_pair()
+        try:
+            ta.connect("b")
+            assert self.pump_both(
+                ta, tb, lambda: ta.endpoint.association("b").established
+            )
+            # Garbage from the *registered* peer address reaches the
+            # engine (unknown senders are filtered earlier).
+            for junk in (b"", b"\x00", b"\xff" * 200, b"A" * 65_000):
+                tb._socket.sendto(junk, ta.address)
+            ta.pump(0.2)
+            # The transport is still alive and real traffic still flows.
+            ta.send("b", b"after-the-noise")
+            assert self.pump_both(ta, tb, lambda: len(tb.received) == 1)
+            assert tb.received == [("a", b"after-the-noise")]
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_parser_escape_is_counted_not_fatal(self):
+        # The endpoint swallows clean PacketErrors itself; the pump's
+        # guard exists for anything that escapes deeper in the stack.
+        ta, tb = self.make_pair()
+        try:
+            ta.connect("b")
+            assert self.pump_both(
+                ta, tb, lambda: ta.endpoint.association("b").established
+            )
+            real_on_packet = ta.endpoint.on_packet
+            ta.endpoint.on_packet = lambda *a, **kw: (_ for _ in ()).throw(
+                RuntimeError("parse bug")
+            )
+            tb._socket.sendto(b"trigger", ta.address)
+            ta.pump(0.2)
+            assert ta.stats.malformed_drops == 1
+            assert not ta.closed
+            ta.endpoint.on_packet = real_on_packet
+            # Counter surfaces through the merged stats view too.
+            assert ta.resilience_stats().malformed_drops == 1
+            ta.send("b", b"recovered")
+            assert self.pump_both(ta, tb, lambda: len(tb.received) == 1)
+        finally:
+            ta.close()
+            tb.close()
