@@ -279,3 +279,16 @@ def test_ablation_pipelining(emit, benchmark):
     assert speedup_4 > 2.0
 
     benchmark.pedantic(run, args=(4,), kwargs={"seed": 31}, rounds=3, iterations=1)
+
+def smoke():
+    """Tier-1 smoke: role-binding demo plus one tiny reliable exchange."""
+    outcome = demonstrate(get_hash("sha1"))
+    assert outcome["unbound"].forgery_possible
+    assert not outcome["bound"].forgery_possible
+    channel = build_channel(
+        mode=Mode.CUMULATIVE,
+        reliability=ReliabilityMode.RELIABLE,
+        batch_size=2,
+        chain_length=64,
+    )
+    assert run_exchange(channel, [b"smoke"] * 2) == 2

@@ -124,3 +124,12 @@ def test_attack_filtering(emit, benchmark):
     ).encode()
 
     benchmark(engine.handle, forged, "s", "v", 0.0)
+
+def smoke():
+    """Tier-1 smoke: one forged S1 dies at the first honest relay."""
+    net, s, v, relays = protected_path(seed=99)
+    assoc = s.endpoint.association("v").assoc_id
+    PacketForger(net.nodes["s"]).forge_s1(assoc, "v", "s", seq=1)
+    net.simulator.run(until=2.0)
+    assert drop_distribution(relays)[0] == 1
+    assert v.received == []

@@ -139,3 +139,7 @@ def test_baseline_comparison(emit, benchmark):
     assert gf_verifier.desynchronized and len(gf_verifier.verified) <= 1
 
     benchmark(tesla_loss_under_jitter, 2.0)
+
+def smoke():
+    """Tier-1 smoke: the TESLA jitter-loss model produces a sane rate."""
+    assert 0.0 <= tesla_loss_under_jitter(1.0) <= 1.0

@@ -87,3 +87,8 @@ def test_cpu_bound_relay_matches_table6(emit, benchmark):
     )
 
     benchmark.pedantic(run_cpu_bound, args=(16,), kwargs={"seed": 77}, rounds=3, iterations=1)
+
+def smoke():
+    """Tier-1 smoke: one CPU-priced exchange at the smallest tree."""
+    observed_bps, per_packet = run_cpu_bound(4, exchanges=1, seed=1)
+    assert observed_bps > 0 and per_packet > 0

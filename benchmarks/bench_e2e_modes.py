@@ -129,3 +129,17 @@ def test_e2e_mode_comparison(emit, benchmark):
         rounds=3,
         iterations=1,
     )
+
+def smoke():
+    """Tier-1 smoke: one lossless batch end to end, both stacks."""
+    import sys
+
+    from benchmarks.conftest import scaled_down
+
+    with scaled_down(sys.modules[__name__], N_MESSAGES=8):
+        delivered, _, goodput = run_alpha(
+            Mode.BASE, ReliabilityMode.RELIABLE, loss=0.0, seed=9
+        )
+        assert delivered == 8 and goodput > 0
+        got, _, _ = run_unprotected(loss=0.0, seed=9)
+        assert got == 8

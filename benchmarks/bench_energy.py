@@ -113,3 +113,14 @@ def test_energy_per_byte(emit, benchmark):
     benchmark.pedantic(
         run_mode, args=(Mode.CUMULATIVE, 5), kwargs={"seed": 11}, rounds=3, iterations=1
     )
+
+def smoke():
+    """Tier-1 smoke: one tiny sensor-link batch with energy pricing."""
+    import sys
+
+    from benchmarks.conftest import scaled_down
+
+    with scaled_down(sys.modules[__name__], N_MESSAGES=4):
+        out = run_mode(Mode.CUMULATIVE, batch=4, seed=3)
+    assert out["radio_bytes"] > out["payload_bytes"] > 0
+    assert out["relay_energy_j"] > 0

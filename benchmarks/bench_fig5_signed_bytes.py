@@ -74,3 +74,10 @@ def test_figure5_regeneration(emit, benchmark):
 
     # Benchmark: regenerating the full four-curve figure.
     benchmark(analysis.figure5_series)
+
+def smoke():
+    """Tier-1 smoke: the Figure 5 series evaluates at a few points."""
+    counts = [1, 2, 4]
+    series = analysis.figure5_series(counts=counts)
+    for size in analysis.FIGURE5_PACKET_SIZES:
+        assert len(series[size]) == len(counts)

@@ -99,3 +99,7 @@ def test_figure6_regeneration(emit, benchmark):
         assert analytic < wire < analytic * 1.35
 
     benchmark(analysis.figure6_series)
+
+def smoke():
+    """Tier-1 smoke: one tiny wire-ratio measurement (overhead > 0)."""
+    assert measured_wire_ratio(2, chunk=128) > 1.0

@@ -121,3 +121,9 @@ def test_flow_scaling(emit, benchmark):
 
     benchmark.pedantic(run_flows, args=(4, Mode.CUMULATIVE), kwargs={"seed": 99},
                        rounds=3, iterations=1)
+
+def smoke():
+    """Tier-1 smoke: a single flow through the star relay delivers."""
+    out = run_flows(1, Mode.CUMULATIVE, seed=3)
+    assert out["delivered"] == out["expected"]
+    assert out["hash_ops"] > 0

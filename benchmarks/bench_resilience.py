@@ -145,3 +145,15 @@ def test_goodput_under_burst_loss(emit, benchmark):
         rounds=3,
         iterations=1,
     )
+
+def smoke():
+    """Tier-1 smoke: one small reliable batch over a clean channel."""
+    import sys
+
+    from benchmarks.conftest import scaled_down
+
+    with scaled_down(sys.modules[__name__], N_MESSAGES=8):
+        delivered, _, goodput, _ = run_alpha(
+            Mode.CUMULATIVE, LinkConfig(latency_s=0.003), seed=5
+        )
+    assert delivered == 8 and goodput > 0

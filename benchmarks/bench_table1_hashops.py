@@ -24,7 +24,13 @@ MEASURED_EXCHANGES = 8
 
 
 def measure_mode(mode: Mode, batch: int) -> dict:
-    """Per-message MAC/fixed-hash counts per role, measured."""
+    """Per-message MAC/fixed-hash counts per role, measured.
+
+    Reads the channel's metrics registry — the per-role OpCounters are
+    bound into it as ``{role}.hash_ops`` / ``{role}.mac_ops`` /
+    ``{role}.labels`` pull samples — so one snapshot/diff pair isolates
+    the measured window for all three roles at once.
+    """
     channel = build_channel(
         mode=mode, reliability=ReliabilityMode.RELIABLE, batch_size=batch
     )
@@ -33,30 +39,23 @@ def measure_mode(mode: Mode, batch: int) -> dict:
     # the paper's "+" entries mark it off-line.
     for _ in range(WARMUP_EXCHANGES):
         run_exchange(channel, [message] * batch)
-    snapshots = {
-        "signer": channel.signer_counter.snapshot(),
-        "verifier": channel.verifier_counter.snapshot(),
-        "relay": channel.relay_counter.snapshot(),
-    }
+    before = channel.registry.snapshot()
     for _ in range(MEASURED_EXCHANGES):
         delivered = run_exchange(channel, [message] * batch)
         assert delivered == batch
     total_messages = MEASURED_EXCHANGES * batch
+    delta = channel.registry.snapshot().diff(before)
     out = {}
-    for role, counter in (
-        ("signer", channel.signer_counter),
-        ("verifier", channel.verifier_counter),
-        ("relay", channel.relay_counter),
-    ):
-        delta = counter.diff(snapshots[role])
+    for role in ROLES:
+        labels = delta[f"{role}.labels"]
         # Merkle leaves hash the message itself: reclassify them as
         # message-size ops (the paper's asterisk entries). AMT leaves
         # stay fixed-size ("amt-leaf").
-        message_hashes = delta.labels.get("merkle-leaf", 0)
+        message_hashes = labels.get("merkle-leaf", 0)
         out[role] = {
-            "mac_per_msg": (delta.mac_ops + message_hashes) / total_messages,
-            "fixed_per_msg": (delta.hash_ops - message_hashes) / total_messages,
-            "labels": delta.labels,
+            "mac_per_msg": (delta[f"{role}.mac_ops"] + message_hashes) / total_messages,
+            "fixed_per_msg": (delta[f"{role}.hash_ops"] - message_hashes) / total_messages,
+            "labels": labels,
         }
     return out
 
@@ -125,3 +124,16 @@ def test_table1_regeneration(emit, benchmark):
         run_exchange(state["channel"], [b"x" * 256])
 
     benchmark(one_exchange)
+
+def smoke():
+    """Tier-1 smoke: one measured exchange through the registry path."""
+    import sys
+
+    from benchmarks.conftest import scaled_down
+
+    with scaled_down(
+        sys.modules[__name__], WARMUP_EXCHANGES=1, MEASURED_EXCHANGES=1
+    ):
+        out = measure_mode(Mode.BASE, 1)
+    assert out["signer"]["mac_per_msg"] > 0
+    assert out["verifier"]["fixed_per_msg"] > 0

@@ -96,3 +96,9 @@ def test_table2_regeneration(emit, benchmark):
         assert m.relay.buffered_bytes == formulas["ALPHA-M"]["relay"]
 
     benchmark(stage_s1, Mode.MERKLE, 64)
+
+def smoke():
+    """Tier-1 smoke: S1 staging buffers bytes on verifier and relay."""
+    channel = stage_s1(Mode.CUMULATIVE, 2)
+    assert channel.verifier.buffered_bytes > 0
+    assert channel.relay.buffered_bytes > 0

@@ -108,3 +108,9 @@ def test_table3_regeneration(emit, benchmark):
         assert measured <= expected["ALPHA-M"]["verifier"] + 2 * n * SECRET_SIZE + HASH_SIZE
 
     benchmark(stage_reliable_s1, Mode.MERKLE, 64)
+
+def smoke():
+    """Tier-1 smoke: reliable S1/A1 staging holds ack state."""
+    channel, a1_size = stage_reliable_s1(Mode.MERKLE, 2)
+    assert a1_size > 0
+    assert measured_verifier_ack_state(channel) > 0

@@ -169,3 +169,15 @@ def test_table4_regeneration(emit, benchmark):
         channel.verifier.drain_delivered()
 
     benchmark(exchange)
+
+def smoke():
+    """Tier-1 smoke: two timed exchanges produce positive step means."""
+    import sys
+
+    from benchmarks.conftest import scaled_down
+
+    with scaled_down(sys.modules[__name__], EXCHANGES=2):
+        steps = measure_alpha_steps()
+    assert steps["Sender (total)"] > 0
+    assert steps["Receiver (total)"] > 0
+    assert measure_primitive(lambda: None, repeat=10) >= 0

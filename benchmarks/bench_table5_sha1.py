@@ -83,3 +83,10 @@ def test_table5_regeneration(emit, benchmark):
     sha1 = get_hash("sha1")
     payload = b"\xCD" * 1024
     benchmark(sha1.digest_uncounted, payload)
+
+def smoke():
+    """Tier-1 smoke: profiles and a tiny host calibration evaluate."""
+    profile = get_profile("ar2315")
+    assert analysis.alpha_c_throughput_bound(profile) > 0
+    host = host_calibrated_profile(samples=10)
+    assert host.hash_time(20) > 0

@@ -99,3 +99,15 @@ def test_table6_regeneration(emit, benchmark):
     benchmark(
         verify_merkle_path, sha1, blocks[512], 512, path, key, root
     )
+
+def smoke():
+    """Tier-1 smoke: one Table 6 row plus one live path verification."""
+    row = analysis.table6_rows([get_profile("ar2315")], leaves_list=(16,))[0]
+    assert row.throughput_bps["ar2315"] > 0
+    sha1 = get_hash("sha1", OpCounter())
+    messages = [b"b%d" % i for i in range(4)]
+    tree = MerkleTree(sha1, messages)
+    key = b"\x01" * sha1.digest_size
+    assert verify_merkle_path(
+        sha1, messages[2], 2, tree.path(2), key, tree.root(key)
+    )

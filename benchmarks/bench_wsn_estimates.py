@@ -91,3 +91,12 @@ def test_wsn_regeneration(emit, benchmark):
 
     # Benchmark: the MMO hash over the paper's 84-byte measurement point.
     benchmark(mmo_digest, b"\xAB" * 84)
+
+def smoke():
+    """Tier-1 smoke: WSN arithmetic plus one tiny MMO exchange."""
+    plain = analysis.wsn_estimates(get_profile("cc2430"))
+    assert plain.packets_per_second > 0
+    channel = build_channel(
+        mode=Mode.CUMULATIVE, batch_size=2, hash_name="mmo", chain_length=64
+    )
+    assert run_exchange(channel, [b"\xEE" * 16] * 2) == 2

@@ -10,11 +10,31 @@ pytest-benchmark. Regenerated tables are printed *and* written under
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@contextlib.contextmanager
+def scaled_down(module, **overrides):
+    """Temporarily shrink a bench module's size constants.
+
+    Used by each bench's ``smoke()`` (run in tier-1 by
+    ``tests/benchmarks/test_bench_smoke.py``) to drive the real
+    measurement code at toy scale, so bench bit-rot fails fast without
+    paying full benchmark runtimes.
+    """
+    saved = {name: getattr(module, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(module, name, value)
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(module, name, value)
 
 
 @pytest.fixture(scope="session")

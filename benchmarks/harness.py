@@ -3,6 +3,15 @@
 Runs signer/verifier/relay engines against each other in memory (no
 simulator), with a *separate hash-operation counter per role* so the
 Table 1 benchmarks measure each role's cryptographic work exactly.
+
+Each channel carries a :class:`~repro.obs.MetricsRegistry` with the
+per-role :class:`~repro.crypto.hashes.OpCounter` blocks *bound* into it
+(``signer.hash_ops``, ``relay.mac_bytes``, ``verifier.labels``, ...),
+so benchmarks read one registry snapshot instead of juggling three
+ad-hoc counters — and the crypto hot path is untouched: bound samples
+are pulled lazily at snapshot time. Pass ``observe=True`` to also
+enable event tracing in the engines (benchmarks leave it off so the
+timed path stays bare).
 """
 
 from __future__ import annotations
@@ -21,8 +30,12 @@ from repro.core.signer import ChannelConfig, SignerSession
 from repro.core.verifier import VerifierSession
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import OpCounter, get_hash
+from repro.obs import MetricsRegistry, Observability
 
 ASSOC = 0xBE7C
+
+#: OpCounter fields exported per role through the registry.
+_OP_FIELDS = ("hash_ops", "hash_bytes", "mac_ops", "mac_bytes", "labels")
 
 
 @dataclass
@@ -36,6 +49,8 @@ class Channel:
     verifier_counter: OpCounter
     relay_counter: OpCounter
     hash_size: int
+    registry: MetricsRegistry
+    obs: Observability
 
 
 def build_channel(
@@ -45,11 +60,28 @@ def build_channel(
     hash_name: str = "sha1",
     chain_length: int = 4096,
     seed: int | str = 0,
+    observe: bool = False,
 ) -> Channel:
     rng = DRBG(seed, personalization=b"bench-harness")
     signer_counter = OpCounter()
     verifier_counter = OpCounter()
     relay_counter = OpCounter()
+    # The registry is always live (it is the pull substrate the Table 1
+    # benches diff); the tracer/engine-event side is opt-in.
+    registry = MetricsRegistry(enabled=True)
+    obs = Observability(enabled=observe, registry=registry)
+    for role, counter in (
+        ("signer", signer_counter),
+        ("verifier", verifier_counter),
+        ("relay", relay_counter),
+    ):
+        for field in _OP_FIELDS:
+            registry.bind(
+                f"{role}.{field}",
+                (lambda c=counter, f=field: dict(getattr(c, f)))
+                if field == "labels"
+                else (lambda c=counter, f=field: getattr(c, f)),
+            )
     signer_hash = get_hash(hash_name, signer_counter)
     verifier_hash = get_hash(hash_name, verifier_counter)
     relay_hash = get_hash(hash_name, relay_counter)
@@ -66,6 +98,8 @@ def build_channel(
         ChainVerifier(signer_hash, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
         config,
         ASSOC,
+        obs=obs,
+        node="signer",
     )
     verifier = VerifierSession(
         verifier_hash,
@@ -73,8 +107,10 @@ def build_channel(
         ChainVerifier(verifier_hash, sig_chain.anchor),
         ASSOC,
         rng.fork("verifier"),
+        obs=obs,
+        node="verifier",
     )
-    relay = RelayEngine(relay_hash)
+    relay = RelayEngine(relay_hash, obs=obs, name="relay")
     relay.provision(
         assoc_id=ASSOC,
         initiator="s",
@@ -92,6 +128,8 @@ def build_channel(
         verifier_counter=verifier_counter,
         relay_counter=relay_counter,
         hash_size=h,
+        registry=registry,
+        obs=obs,
     )
 
 

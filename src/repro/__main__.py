@@ -6,6 +6,8 @@ writing code:
 - ``tables``   — regenerate the paper's analytic tables to stdout.
 - ``demo``     — run the quickstart scenario (protected 4-hop path).
 - ``wsn``      — print the Section 4.1.3 sensor-network estimates.
+- ``trace``    — replay a canonical exchange with the observability
+  layer enabled and print its event timeline + summary (PROTOCOL.md §9).
 - ``selftest`` — fast internal consistency check (crypto vectors, one
   protocol round trip); exits non-zero on failure.
 """
@@ -109,6 +111,24 @@ def _cmd_selftest() -> int:
     return 1 if failures else 0
 
 
+#: Canonical exchange names (mirrors repro.obs.canonical, kept literal
+#: so argument parsing does not import the protocol stack).
+_TRACE_EXCHANGES = ("alpha-c", "alpha-m", "basic", "reliable")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.canonical import run_canonical
+    from repro.obs.format import format_summary, format_timeline
+
+    obs = run_canonical(args.exchange, seed=args.seed)
+    print(f"# canonical exchange: {args.exchange}")
+    print(format_timeline(obs.tracer.events))
+    if not args.no_summary:
+        print()
+        print(format_summary(obs))
+    return 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "demo": _cmd_demo,
@@ -122,8 +142,28 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="ALPHA (CoNEXT 2008) reproduction utilities",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS))
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in sorted(_COMMANDS):
+        sub.add_parser(name)
+    trace = sub.add_parser(
+        "trace",
+        help="replay a canonical exchange and print its event timeline",
+    )
+    trace.add_argument(
+        "exchange",
+        nargs="?",
+        default="reliable",
+        choices=_TRACE_EXCHANGES,
+    )
+    trace.add_argument("--seed", default="0", help="replay RNG seed")
+    trace.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="print only the timeline, not the counts/metrics summary",
+    )
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _COMMANDS[args.command]()
 
 

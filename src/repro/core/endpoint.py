@@ -48,6 +48,7 @@ from repro.core.verifier import DeliveredMessage, VerifierSession
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction, OpCounter, get_hash
 from repro.crypto.signatures import SignatureScheme
+from repro.obs import OBS_OFF, EventKind, Observability
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,11 @@ class EndpointConfig:
     #: S1; returning False withholds the A1, so relays never forward the
     #: sender's data packets. ``None`` accepts everything.
     accept_policy: Callable | None = None
+    #: Enable the observability layer (metrics registry + exchange
+    #: tracer, PROTOCOL.md §9). Off by default: the disabled cost is one
+    #: boolean check per instrumented call site. An explicit ``obs``
+    #: argument to :class:`AlphaEndpoint` overrides this flag.
+    observe: bool = False
 
     def channel_config(self) -> ChannelConfig:
         return ChannelConfig(
@@ -154,9 +160,16 @@ class AlphaEndpoint:
         seed: int | str | None = None,
         identity: SignatureScheme | None = None,
         counter: OpCounter | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.name = name
         self.config = config if config is not None else EndpointConfig()
+        if obs is not None:
+            self.obs = obs
+        elif self.config.observe:
+            self.obs = Observability()
+        else:
+            self.obs = OBS_OFF
         self.rng = DRBG(seed if seed is not None else f"endpoint:{name}")
         self.identity = identity
         self.hash_fn: HashFunction = get_hash(self.config.hash_name, counter)
@@ -200,6 +213,11 @@ class AlphaEndpoint:
         )
         self._by_peer[peer] = assoc
         self._by_id[assoc_id] = assoc
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.HS_SEND, assoc_id, info="hs1"
+            )
+            self.obs.registry.counter("endpoint.handshakes_started").inc()
         return (peer, assoc.hs_bytes)
 
     def association(self, peer: str) -> Association:
@@ -251,9 +269,19 @@ class AlphaEndpoint:
             packet = decode_packet(data, self.hash_fn.digest_size)
         except PacketError:
             self.stats.corrupt_drops += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    now, self.name, EventKind.PARSE_DROP, info=f"src={src}"
+                )
+                self.obs.registry.counter("endpoint.parse_drops").inc()
             return out
         if isinstance(packet, HandshakePacket):
-            self._on_handshake(packet, src, out)
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    now, self.name, EventKind.HS_RECV, packet.assoc_id,
+                    info="hs2" if packet.is_response else "hs1",
+                )
+            self._on_handshake(packet, src, out, now)
             return out
         assoc = self._by_id.get(packet.assoc_id)
         if assoc is None or not assoc.established or assoc.peer != src:
@@ -289,11 +317,17 @@ class AlphaEndpoint:
                 # observably, not retransmit forever.
                 if assoc.initiator and now >= assoc.hs_deadline:
                     if assoc.hs_retries >= self.config.max_retries:
-                        self._fail_handshake(assoc, out)
+                        self._fail_handshake(assoc, out, now)
                     else:
                         assoc.hs_retries += 1
                         assoc.hs_deadline = now + self.config.retransmit_timeout_s
                         out.replies.append((assoc.peer, assoc.hs_bytes))
+                        if self.obs.enabled:
+                            self.obs.tracer.emit(
+                                now, self.name, EventKind.RETRANSMIT,
+                                assoc.assoc_id,
+                                info=f"hs1 try={assoc.hs_retries}",
+                            )
                 continue
             self._collect_signer_output(assoc, now, out)
             self._maybe_rekey(assoc, now, out)
@@ -325,6 +359,7 @@ class AlphaEndpoint:
         chains: ChainSet,
         peer_anchors: PeerAnchors,
         initiator: bool,
+        now: float = 0.0,
     ) -> Association:
         assoc = self._by_id.get(assoc_id)
         if assoc is None:
@@ -349,6 +384,8 @@ class AlphaEndpoint:
             config=channel_config,
             assoc_id=assoc_id,
             peer=peer,
+            obs=self.obs,
+            node=self.name,
         )
         assoc.verifier = VerifierSession(
             hash_fn=self.hash_fn,
@@ -362,14 +399,25 @@ class AlphaEndpoint:
             rng=self.rng.fork(f"verifier:{peer}"),
             accept_policy=self.config.accept_policy,
             max_buffered_exchanges=self.config.max_buffered_exchanges,
+            obs=self.obs,
+            node=self.name,
         )
         assoc.established = True
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.ESTABLISHED, assoc_id,
+                info=f"peer={peer}" + (" initiator" if initiator else ""),
+            )
+            self.obs.registry.counter("endpoint.associations").inc()
         for message in assoc.pending_sends:
             assoc.signer.submit(message)
         assoc.pending_sends.clear()
         return assoc
 
-    def _on_handshake(self, packet: HandshakePacket, src: str, out: EndpointOutput) -> None:
+    def _on_handshake(
+        self, packet: HandshakePacket, src: str, out: EndpointOutput,
+        now: float = 0.0,
+    ) -> None:
         if packet.is_response:
             assoc = self._by_id.get(packet.assoc_id)
             if assoc is None or assoc.established or not assoc.initiator:
@@ -385,7 +433,8 @@ class AlphaEndpoint:
             except AlphaError:
                 return
             established = self._install_association(
-                packet.assoc_id, src, assoc.chains, peer_anchors, initiator=True
+                packet.assoc_id, src, assoc.chains, peer_anchors,
+                initiator=True, now=now,
             )
             self._migrate_if_replacement(established)
             return
@@ -413,10 +462,14 @@ class AlphaEndpoint:
             identity=self.identity,
         )
         assoc = self._install_association(
-            packet.assoc_id, src, chains, peer_anchors, initiator=False
+            packet.assoc_id, src, chains, peer_anchors, initiator=False, now=now
         )
         assoc.hs_bytes = response.encode()
         out.replies.append((src, assoc.hs_bytes))
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.HS_SEND, packet.assoc_id, info="hs2"
+            )
 
     def _maybe_rekey(self, assoc: Association, now: float, out: EndpointOutput) -> None:
         """Initiate a replacement handshake before the chains run dry."""
@@ -463,6 +516,15 @@ class AlphaEndpoint:
         self._by_id[new_id] = replacement
         assoc.replacement_id = new_id
         out.replies.append((assoc.peer, replacement.hs_bytes))
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.REKEY, assoc.assoc_id,
+                info=f"{label} new_assoc={new_id}",
+            )
+            self.obs.tracer.emit(
+                now, self.name, EventKind.HS_SEND, new_id, info="hs1"
+            )
+            self.obs.registry.counter("endpoint.rekeys").inc()
         return replacement
 
     def _migrate_if_replacement(self, assoc: Association) -> None:
@@ -506,11 +568,24 @@ class AlphaEndpoint:
             return
         assoc.down = True
         self.stats.dead_peers += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.DEAD_PEER, assoc.assoc_id,
+                info=f"peer={assoc.peer}"
+                f" failures={assoc.signer.consecutive_failures}",
+            )
+            self.obs.registry.counter("endpoint.dead_peers").inc()
         if self.config.auto_rebootstrap and assoc.replacement_id is None:
             # Re-bootstrap over the existing handshake path: fresh chains,
             # fresh association id, queued traffic migrates immediately.
             replacement = self._initiate_replacement(assoc, now, out, label="reboot")
             self.stats.rebootstraps += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    now, self.name, EventKind.REBOOTSTRAP, assoc.assoc_id,
+                    info=f"new_assoc={replacement.assoc_id}",
+                )
+                self.obs.registry.counter("endpoint.rebootstraps").inc()
             while assoc.signer._queue:
                 replacement.pending_sends.append(assoc.signer._queue.popleft())
             assoc.retired = True
@@ -521,15 +596,27 @@ class AlphaEndpoint:
             # so callers never wait on a peer that stopped answering.
             # Drain (rather than use the return value) so the failure is
             # emitted exactly once.
-            assoc.signer.fail_queued("dead-peer")
+            assoc.signer.fail_queued("dead-peer", now)
             for failure in assoc.signer.drain_failures():
                 out.failures.append((assoc.peer, failure))
 
-    def _fail_handshake(self, assoc: Association, out: EndpointOutput) -> None:
+    def _fail_handshake(
+        self, assoc: Association, out: EndpointOutput, now: float = 0.0
+    ) -> None:
         """Tear down a half-open association whose HS1 retries ran out."""
         assoc.down = True
         self.stats.exchanges_failed += 1
         self.stats.dead_peers += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.EXCHANGE_FAILED, assoc.assoc_id,
+                info=f"handshake-timeout retries={assoc.hs_retries}",
+            )
+            self.obs.tracer.emit(
+                now, self.name, EventKind.DEAD_PEER, assoc.assoc_id,
+                info=f"peer={assoc.peer} handshake",
+            )
+            self.obs.registry.counter("endpoint.dead_peers").inc()
         out.failures.append(
             (
                 assoc.peer,

@@ -380,7 +380,10 @@ class HandshakePacket:
         cls, reader: Reader, assoc_id: int, seq: int, is_response: bool
     ) -> "HandshakePacket":
         reader.u8()  # flags; protection is evident from the signature field
-        hash_name = reader.var_bytes().decode("ascii")
+        try:
+            hash_name = reader.var_bytes().decode("ascii")
+        except UnicodeDecodeError:
+            raise PacketError("handshake hash name is not ASCII") from None
         nonce = reader.var_bytes()
         peer_nonce = reader.var_bytes()
         sig_chain_length = reader.u32()

@@ -41,6 +41,7 @@ from repro.core.exceptions import PacketError
 from repro.core.resilience import ResilienceStats
 from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
 from repro.crypto.hashes import HashFunction
+from repro.obs import OBS_OFF, EventKind, Observability
 
 
 @dataclass(frozen=True)
@@ -135,9 +136,15 @@ class _ChannelObserver:
         ack_anchor: ChainElement,
         config: RelayConfig,
         resilience: ResilienceStats | None = None,
+        obs: Observability | None = None,
+        node: str = "",
+        assoc_id: int = 0,
     ) -> None:
+        self._obs = obs if obs is not None else OBS_OFF
+        self._node = node or "relay"
         self._hash = hash_fn
         self.signer_name = signer_name
+        self.assoc_id = assoc_id
         self.sig_verifier = ChainVerifier(hash_fn, sig_anchor)
         self.ack_verifier = ChainVerifier(hash_fn, ack_anchor, tags=ACKNOWLEDGMENT_TAGS)
         self.config = config
@@ -164,19 +171,25 @@ class _ChannelObserver:
                 if now - exchange.last_seen > ttl
             ]
             for seq in expired:
-                self._evict(seq)
+                self._evict(seq, now, "ttl")
                 self.resilience.evictions_ttl += 1
-        self._enforce_byte_cap()
+        self._enforce_byte_cap(now)
 
-    def _evict(self, seq: int) -> None:
+    def _evict(self, seq: int, now: float = 0.0, reason: str = "") -> None:
         """Drop buffered state for ``seq``, leaving a tombstone."""
         del self.exchanges[seq]
         self.evicted.pop(seq, None)
         self.evicted[seq] = None
         while len(self.evicted) > self.config.evicted_memory:
             del self.evicted[next(iter(self.evicted))]
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.RELAY_EVICT, self.assoc_id, seq,
+                info=reason,
+            )
+            self._obs.registry.counter("relay.evictions").inc()
 
-    def _enforce_byte_cap(self) -> None:
+    def _enforce_byte_cap(self, now: float = 0.0) -> None:
         """Evict oldest exchanges until under the byte ceiling.
 
         Never evicts the last remaining exchange: one in-progress
@@ -186,11 +199,22 @@ class _ChannelObserver:
         cap = self.config.max_buffered_bytes
         if cap is not None:
             while len(self.exchanges) > 1 and self.buffered_bytes > cap:
-                self._evict(min(self.exchanges))
+                self._evict(min(self.exchanges), now, "byte-cap")
                 self.resilience.evictions_capacity += 1
 
     def _touch(self, exchange: _RelayExchange, now: float) -> None:
         exchange.last_seen = now
+
+    def _tombstone(self, seq: int, now: float, reason: str) -> RelayDecision:
+        """Forward a tombstoned exchange's packet unverified, counted."""
+        self.resilience.tombstone_forwards += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.RELAY_TOMBSTONE, self.assoc_id,
+                seq, info=reason,
+            )
+            self._obs.registry.counter("relay.tombstone_forwards").inc()
+        return RelayDecision(True, reason)
 
     def on_s1(self, packet: S1Packet, wire_size: int, now: float = 0.0) -> RelayDecision:
         if wire_size > self.s1_allowance:
@@ -218,7 +242,7 @@ class _ChannelObserver:
                     # original S1 verified and can never verify again.
                     # Degrade to unverified forwarding rather than
                     # censoring the retransmission.
-                    return RelayDecision(True, "s1-evicted-unverified")
+                    return self._tombstone(packet.seq, now, "s1-evicted-unverified")
                 return RelayDecision(False, "s1-bad-chain-element")
         # The element verified after all (evicted before commit, or the
         # derived entry survived): rebuild full state below.
@@ -233,10 +257,17 @@ class _ChannelObserver:
             last_seen=now,
         )
         self.exchanges[packet.seq] = exchange
+        self.resilience.relay_admits += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.RELAY_ADMIT, self.assoc_id,
+                packet.seq, info=f"bytes={exchange.buffered_bytes}",
+            )
+            self._obs.registry.counter("relay.admits").inc()
         while len(self.exchanges) > self.config.max_buffered_exchanges:
-            self._evict(min(self.exchanges))
+            self._evict(min(self.exchanges), now, "entry-cap")
             self.resilience.evictions_capacity += 1
-        self._enforce_byte_cap()
+        self._enforce_byte_cap(now)
         return RelayDecision(True, "s1-ok", verified=True)
 
     def on_a1(self, packet: A1Packet, now: float = 0.0) -> RelayDecision:
@@ -246,7 +277,7 @@ class _ChannelObserver:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
             if packet.seq in self.evicted:
-                return RelayDecision(True, "a1-evicted-unverified")
+                return self._tombstone(packet.seq, now, "a1-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "a1-unknown-exchange")
             return RelayDecision(True, "a1-unverified")
@@ -272,7 +303,7 @@ class _ChannelObserver:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
             if packet.seq in self.evicted:
-                return RelayDecision(True, "s2-evicted-unverified")
+                return self._tombstone(packet.seq, now, "s2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "s2-unknown-exchange")
             return RelayDecision(True, "s2-unverified")
@@ -306,7 +337,7 @@ class _ChannelObserver:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
             if packet.seq in self.evicted:
-                return RelayDecision(True, "a2-evicted-unverified")
+                return self._tombstone(packet.seq, now, "a2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "a2-unknown-exchange")
             return RelayDecision(True, "a2-unverified")
@@ -395,8 +426,16 @@ class RelayEngine:
     :meth:`provision` (static bootstrapping, e.g. WSN pre-deployment).
     """
 
-    def __init__(self, hash_fn: HashFunction, config: RelayConfig | None = None) -> None:
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        config: RelayConfig | None = None,
+        obs: Observability | None = None,
+        name: str = "",
+    ) -> None:
         self._hash = hash_fn
+        self._obs = obs if obs is not None else OBS_OFF
+        self.name = name or "relay"
         self.config = config if config is not None else RelayConfig()
         self._associations: dict[int, _RelayAssociation] = {}
         self._pending_hs1: dict[int, tuple[str, HandshakePacket]] = {}
@@ -428,6 +467,9 @@ class RelayEngine:
                 responder_ack_anchor,
                 self.config,
                 resilience=self.resilience,
+                obs=self._obs,
+                node=self.name,
+                assoc_id=assoc_id,
             ),
             reverse_channel=_ChannelObserver(
                 self._hash,
@@ -436,6 +478,9 @@ class RelayEngine:
                 initiator_ack_anchor,
                 self.config,
                 resilience=self.resilience,
+                obs=self._obs,
+                node=self.name,
+                assoc_id=assoc_id,
             ),
         )
 
@@ -453,6 +498,11 @@ class RelayEngine:
             packet = decode_packet(data, self._hash.digest_size)
         except PacketError:
             self.resilience.corrupt_drops += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self.name, EventKind.PARSE_DROP, info="relay"
+                )
+                self._obs.registry.counter("relay.parse_drops").inc()
             return self._count(RelayDecision(False, "malformed"))
         assoc = self._associations.get(packet.assoc_id)
         if assoc is None:
@@ -471,6 +521,17 @@ class RelayEngine:
         decision = self._dispatch(assoc, packet, src, len(data), now)
         if decision.extracted:
             self.extracted.extend(decision.extracted)
+        if self._obs.enabled:
+            kind = EventKind.RELAY_FORWARD if decision.forward else EventKind.RELAY_DROP
+            self._obs.tracer.emit(
+                now, self.name, kind, packet.assoc_id,
+                getattr(packet, "seq", 0),
+                msg_index=getattr(packet, "msg_index", -1),
+                info=decision.reason,
+            )
+            self._obs.registry.counter(
+                "relay.forwarded" if decision.forward else "relay.dropped"
+            ).inc()
         return self._count(decision)
 
     # -- internals -------------------------------------------------------------

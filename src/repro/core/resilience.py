@@ -135,6 +135,10 @@ class ResilienceStats:
     evictions_ttl: int = 0
     #: Relay buffer entries evicted to respect the byte/entry capacity.
     evictions_capacity: int = 0
+    #: Exchanges a relay admitted to its buffer after verifying the S1.
+    relay_admits: int = 0
+    #: Packets of evicted (tombstoned) exchanges forwarded unverified.
+    tombstone_forwards: int = 0
     #: Packets dropped because they failed to parse (truncated/corrupt).
     corrupt_drops: int = 0
     #: Datagrams whose processing raised out of the wire parser.

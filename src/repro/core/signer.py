@@ -27,6 +27,7 @@ from repro.core.packets import A1Packet, A2Packet, S1Packet, S2Packet
 from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction
+from repro.obs import OBS_OFF, EventKind, Observability
 
 #: Fixed strings distinguishing pre-acks from pre-nacks
 #: (paper Section 3.2.2: "e.g., 0 and 1").
@@ -152,6 +153,8 @@ class SignerSession:
         assoc_id: int,
         peer: str = "",
         rng: DRBG | None = None,
+        obs: Observability | None = None,
+        node: str = "",
     ) -> None:
         self._hash = hash_fn
         self.chain = sig_chain
@@ -159,6 +162,8 @@ class SignerSession:
         self.config = config
         self.assoc_id = assoc_id
         self.peer = peer
+        self._obs = obs if obs is not None else OBS_OFF
+        self._node = node or "signer"
         # Standalone DRBG (not forked from the endpoint's) so backoff
         # jitter never perturbs the endpoint's cryptographic draws.
         self.rng = rng if rng is not None else DRBG(f"signer-jitter:{assoc_id}")
@@ -216,22 +221,40 @@ class SignerSession:
             if now < exchange.deadline:
                 continue
             if exchange.retries >= self.config.max_retries:
-                self._fail_exchange(exchange)
+                self._fail_exchange(exchange, now)
                 continue
             exchange.retries += 1
             exchange.rtt_clean = False  # Karn: the next reply is ambiguous
             exchange.deadline = now + self._backed_off_timeout()
             self.stats.retransmits += 1
+            resent = "s1"
             if exchange.state is ExchangeState.AWAIT_A1:
                 out.append(exchange.s1_bytes)
             elif exchange.state is ExchangeState.AWAIT_A2:
                 out.extend(self._retransmit_s2(exchange))
+                resent = "s2"
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.RETRANSMIT, self.assoc_id,
+                    exchange.seq,
+                    info=f"{resent} try={exchange.retries} rto={self.rtt.rto:.4f}",
+                )
+                if self.config.adaptive_rto:
+                    self._obs.tracer.emit(
+                        now, self._node, EventKind.BACKOFF, self.assoc_id,
+                        exchange.seq, info=f"rto={self.rtt.rto:.4f}",
+                    )
+                self._obs.registry.counter("signer.retransmits").inc()
         while self._queue and len(self._exchanges) < self.config.max_outstanding:
             out.append(self._start_exchange(now))
         return out
 
     def handle_a1(self, packet: A1Packet, now: float) -> list[bytes]:
         """Process an A1; returns the S2 packets (possibly several)."""
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A1_RECV, self.assoc_id, packet.seq
+            )
         exchange = self._exchanges.get(packet.seq)
         if exchange is None:
             return []  # stale or duplicate A1
@@ -240,6 +263,7 @@ class SignerSession:
             # packets once an S2 has been sent.
             return []
         if packet.ack_index % 2 == 0:
+            self._reject_a1(now, packet.seq, "even-position")
             return []  # A1 tokens are odd-position ack-chain elements
         ack_element = ChainElement(packet.ack_index, packet.ack_element)
         if not self.ack_verifier.verify(ack_element):
@@ -247,14 +271,29 @@ class SignerSession:
             # one; its genuine element was derived during that gap walk
             # and is accepted exactly once (see consume_derived).
             if not self.ack_verifier.consume_derived(ack_element):
+                self._reject_a1(now, packet.seq, "bad-chain-element")
                 return []  # forged or replayed A1
         if packet.echo_sig_element != exchange.s1_element.value:
+            self._reject_a1(now, packet.seq, "wrong-echo")
             return []  # acknowledges someone else's S1
         exchange.a1_ack_element = ack_element
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A1_VERIFY_OK, self.assoc_id,
+                packet.seq, info=f"ack_index={packet.ack_index}",
+            )
         if exchange.rtt_clean and self.config.adaptive_rto:
             # Unambiguous S1 -> A1 round trip: feed the estimator.
-            self.rtt.observe(max(0.0, now - exchange.sent_at))
+            sample = max(0.0, now - exchange.sent_at)
+            self.rtt.observe(sample)
             self.stats.rtt_samples += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.RTO_UPDATE, self.assoc_id,
+                    packet.seq,
+                    info=f"rtt={sample:.4f} rto={self.rtt.rto:.4f}",
+                )
+                self._obs.registry.histogram("signer.rtt_s").observe(sample)
         elif self.config.adaptive_rto:
             # Ambiguously-timed reply (Karn forbids sampling it), but it
             # still proves the peer alive: collapse backoff (§5.7).
@@ -264,6 +303,13 @@ class SignerSession:
             exchange.pre_nacks = list(packet.pre_nacks)
             exchange.amt_root = packet.amt_root
         s2_packets = self._build_s2_packets(exchange)
+        if self._obs.enabled:
+            for index in range(len(s2_packets)):
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.S2_SEND, self.assoc_id,
+                    exchange.seq, msg_index=index,
+                )
+            self._obs.registry.counter("signer.s2_sent").inc(len(s2_packets))
         if exchange.reliable:
             exchange.state = ExchangeState.AWAIT_A2
             exchange.retries = 0
@@ -271,22 +317,29 @@ class SignerSession:
             exchange.rtt_clean = True
             exchange.deadline = now + self._current_timeout()
         else:
-            self._complete_exchange(exchange, delivered=None)
+            self._complete_exchange(exchange, delivered=None, now=now)
         return s2_packets
 
     def handle_a2(self, packet: A2Packet, now: float) -> list[bytes]:
         """Process an A2; may return S2 retransmissions for nacks."""
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A2_RECV, self.assoc_id, packet.seq
+            )
         exchange = self._exchanges.get(packet.seq)
         if exchange is None or exchange.state is not ExchangeState.AWAIT_A2:
             return []
         if packet.disclosed_index % 2:
+            self._reject_a2(now, packet.seq, "odd-position")
             return []  # A2 discloses even-position ack-chain elements
         disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
         if exchange.ack_key_element is None:
             if not self.ack_verifier.verify_disclosure(disclosed):
+                self._reject_a2(now, packet.seq, "bad-disclosure")
                 return []
             exchange.ack_key_element = disclosed
         elif disclosed.value != exchange.ack_key_element.value:
+            self._reject_a2(now, packet.seq, "key-mismatch")
             return []
         if self.config.adaptive_rto:
             self.rtt.clear_backoff()  # authentic A2: the peer is alive
@@ -301,11 +354,23 @@ class SignerSession:
                 exchange.nacked.discard(verdict.msg_index)
             elif verdict.msg_index not in exchange.acked:
                 exchange.nacked.add(verdict.msg_index)
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A2_VERIFY_OK, self.assoc_id,
+                packet.seq,
+                info=f"acked={len(exchange.acked)}/{len(exchange.messages)}",
+            )
         if len(exchange.acked) == len(exchange.messages):
-            self._complete_exchange(exchange, delivered=True)
+            self._complete_exchange(exchange, delivered=True, now=now)
             return []
         if exchange.nacked:
             out = self._retransmit_s2(exchange, only=exchange.nacked)
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.RETRANSMIT, self.assoc_id,
+                    packet.seq, info=f"s2-nacked={sorted(exchange.nacked)}",
+                )
+                self._obs.registry.counter("signer.retransmits").inc()
             exchange.nacked.clear()
             exchange.rtt_clean = False
             exchange.deadline = now + self._current_timeout()
@@ -363,7 +428,30 @@ class SignerSession:
             deadline=now + self._current_timeout(),
             sent_at=now,
         )
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S1_SEND, self.assoc_id, seq,
+                info=f"mode={mode.name.lower()} n={len(messages)}"
+                + (" reliable" if reliable else ""),
+            )
+            self._obs.registry.counter("signer.s1_sent").inc()
         return s1_bytes
+
+    def _reject_a1(self, now: float, seq: int, reason: str) -> None:
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A1_VERIFY_FAIL, self.assoc_id,
+                seq, info=reason,
+            )
+            self._obs.registry.counter("signer.a1_rejected").inc()
+
+    def _reject_a2(self, now: float, seq: int, reason: str) -> None:
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A2_VERIFY_FAIL, self.assoc_id,
+                seq, info=reason,
+            )
+            self._obs.registry.counter("signer.a2_rejected").inc()
 
     def _current_timeout(self) -> float:
         """Timeout for a fresh transmission (no extra backoff)."""
@@ -443,10 +531,18 @@ class SignerSession:
         )
         return recomputed == expected
 
-    def _complete_exchange(self, exchange: _Exchange, delivered: bool | None) -> None:
+    def _complete_exchange(
+        self, exchange: _Exchange, delivered: bool | None, now: float = 0.0
+    ) -> None:
         exchange.state = ExchangeState.DONE
         self.exchanges_completed += 1
         self.consecutive_failures = 0
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.EXCHANGE_DONE, self.assoc_id,
+                exchange.seq, info=f"n={len(exchange.messages)}",
+            )
+            self._obs.registry.counter("signer.exchanges_done").inc()
         if delivered is not None:
             for index, message in enumerate(exchange.messages):
                 self.reports.append(
@@ -454,8 +550,14 @@ class SignerSession:
                 )
         self._exchanges.pop(exchange.seq, None)
 
-    def _fail_exchange(self, exchange: _Exchange) -> None:
+    def _fail_exchange(self, exchange: _Exchange, now: float = 0.0) -> None:
         exchange.state = ExchangeState.FAILED
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.EXCHANGE_FAILED, self.assoc_id,
+                exchange.seq, info=f"retry-cap retries={exchange.retries}",
+            )
+            self._obs.registry.counter("signer.exchanges_failed").inc()
         # The next exchange starts from the RTO estimate, not this one's
         # terminal backoff; persistent unreachability is dead-peer
         # detection's job, not an ever-growing timer's.
@@ -494,10 +596,16 @@ class SignerSession:
         failures, self.failures = self.failures, []
         return failures
 
-    def fail_queued(self, reason: str) -> list[ExchangeFailed]:
+    def fail_queued(self, reason: str, now: float = 0.0) -> list[ExchangeFailed]:
         """Fail every not-yet-started message (dead peer, no re-bootstrap)."""
         if not self._queue:
             return []
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.EXCHANGE_FAILED, self.assoc_id,
+                0, info=f"{reason} queued={len(self._queue)}",
+            )
+            self._obs.registry.counter("signer.exchanges_failed").inc()
         failure = ExchangeFailed(
             peer=self.peer,
             assoc_id=self.assoc_id,

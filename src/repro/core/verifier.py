@@ -25,6 +25,7 @@ from repro.core.packets import A1Packet, A2Packet, AckVerdict, S1Packet, S2Packe
 from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction
+from repro.obs import OBS_OFF, EventKind, Observability
 
 _SECRET_SIZE = 16
 
@@ -73,9 +74,13 @@ class VerifierSession:
         rng: DRBG,
         accept_policy: Callable[[S1Packet], bool] | None = None,
         max_buffered_exchanges: int = 8,
+        obs: Observability | None = None,
+        node: str = "",
     ) -> None:
         if max_buffered_exchanges < 1:
             raise ValueError("need room for at least one exchange")
+        self._obs = obs if obs is not None else OBS_OFF
+        self._node = node or "verifier"
         self._hash = hash_fn
         self.ack_chain = ack_chain
         self.sig_verifier = sig_verifier
@@ -93,16 +98,27 @@ class VerifierSession:
 
     def handle_s1(self, packet: S1Packet, now: float) -> bytes | None:
         """Process an S1. Returns the A1 to send, or None to stay silent."""
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S1_RECV, self.assoc_id, packet.seq,
+                info=f"mode={packet.mode.name.lower()} n={packet.message_count}",
+            )
         existing = self._exchanges.get(packet.seq)
         if existing is not None:
             # Retransmitted S1: repeat the identical A1 (fresh secrets or
             # chain elements would break the signer's bookkeeping).
+            if self._obs.enabled and existing.a1_bytes:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.A1_SEND, self.assoc_id,
+                    packet.seq, info="retransmit",
+                )
             return existing.a1_bytes or None
         if packet.chain_index % 2 == 0:
             # Role binding (Section 3.2.1): S1 identity tokens live at odd
             # chain positions. An even-position element is a disclosed MAC
             # key being replayed in the S1 role — the reformatting attack.
             self.rejected_s1 += 1
+            self._reject_s1(now, packet.seq, "even-position")
             return None
         element = ChainElement(packet.chain_index, packet.chain_element)
         if not self.sig_verifier.verify(element):
@@ -110,12 +126,19 @@ class VerifierSession:
             # the derived-cache accepts the genuine element exactly once.
             if not self.sig_verifier.consume_derived(element):
                 self.rejected_s1 += 1
+                self._reject_s1(now, packet.seq, "bad-chain-element")
                 return None
         if self.accept_policy is not None and not self.accept_policy(packet):
             # Unwilling: deny the A1 (paper Section 3.5). The chain
             # element was still consumed, which is correct — it was
             # genuinely disclosed on the wire.
             self.refused_s1 += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.S1_REFUSED, self.assoc_id,
+                    packet.seq,
+                )
+                self._obs.registry.counter("verifier.s1_refused").inc()
             return None
         exchange = _VerifierExchange(
             seq=packet.seq,
@@ -166,35 +189,92 @@ class VerifierSession:
         )
         exchange.a1_bytes = a1.encode()
         self._remember(exchange)
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S1_VERIFY_OK, self.assoc_id,
+                packet.seq, info=f"chain_index={element.index}",
+            )
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A1_SEND, self.assoc_id, packet.seq,
+                info=f"ack_index={a1_element.index}",
+            )
+            self._obs.registry.counter("verifier.s1_accepted").inc()
+            self._obs.registry.counter("verifier.a1_sent").inc()
         return exchange.a1_bytes
 
     def handle_s2(self, packet: S2Packet, now: float) -> bytes | None:
         """Process an S2. Returns an A2 (reliable channels) or None."""
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S2_RECV, self.assoc_id, packet.seq,
+                msg_index=packet.msg_index,
+            )
         exchange = self._exchanges.get(packet.seq)
         if exchange is None:
             self.rejected_s2 += 1
+            self._reject_s2(now, packet, "unknown-exchange")
             return None
         if not self._accept_key_disclosure(exchange, packet):
             self.rejected_s2 += 1
+            self._reject_s2(now, packet, "bad-key-disclosure")
             return None
         key = exchange.key_value
         valid = self._verify_message(exchange, key, packet)
+        if valid and self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S2_VERIFY_OK, self.assoc_id,
+                packet.seq, msg_index=packet.msg_index,
+                info=f"disclosed={packet.disclosed_index}"
+                f" s1={exchange.s1_element.index}",
+            )
+            self._obs.registry.counter("verifier.s2_accepted").inc()
         if valid and packet.msg_index not in exchange.delivered:
             exchange.delivered.add(packet.msg_index)
             self.delivered.append(
                 DeliveredMessage(packet.seq, packet.msg_index, packet.message)
             )
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.DELIVER, self.assoc_id,
+                    packet.seq, msg_index=packet.msg_index,
+                )
+                self._obs.registry.counter("verifier.delivered").inc()
         if not valid:
             self.rejected_s2 += 1
+            self._reject_s2(now, packet, "bad-mac")
         if not exchange.reliable:
             return None
         if not valid and exchange.delivered and packet.msg_index in exchange.delivered:
             # Already acked this index with a genuine message; a later
             # corrupted duplicate must not trigger a contradictory nack.
             return None
-        return self._build_a2(exchange, packet.msg_index, valid)
+        a2 = self._build_a2(exchange, packet.msg_index, valid)
+        if a2 is not None and self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.A2_SEND, self.assoc_id, packet.seq,
+                msg_index=packet.msg_index,
+                info="ack" if valid else "nack",
+            )
+            self._obs.registry.counter("verifier.a2_sent").inc()
+        return a2
 
     # -- internals -------------------------------------------------------------
+
+    def _reject_s1(self, now: float, seq: int, reason: str) -> None:
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S1_VERIFY_FAIL, self.assoc_id,
+                seq, info=reason,
+            )
+            self._obs.registry.counter("verifier.s1_rejected").inc()
+
+    def _reject_s2(self, now: float, packet: S2Packet, reason: str) -> None:
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.S2_VERIFY_FAIL, self.assoc_id,
+                packet.seq, msg_index=packet.msg_index, info=reason,
+            )
+            self._obs.registry.counter("verifier.s2_rejected").inc()
 
     def _accept_key_disclosure(self, exchange: _VerifierExchange, packet: S2Packet) -> bool:
         """Validate the disclosed MAC key against the chain."""

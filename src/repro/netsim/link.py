@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.crypto.drbg import DRBG
 from repro.netsim.packet import Frame
 from repro.netsim.simulator import Simulator
+from repro.obs import OBS_OFF, EventKind, Observability
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,7 @@ class Link:
         node_b: "Node",
         config: LinkConfig = LinkConfig(),
         rng: DRBG | None = None,
+        obs: Observability | None = None,
     ) -> None:
         from repro.netsim.node import Node  # circular-import guard
 
@@ -128,6 +130,8 @@ class Link:
             raise ValueError("cannot link a node to itself")
         self.simulator = simulator
         self.config = config
+        self._obs = obs if obs is not None else OBS_OFF
+        self._obs_node = f"link:{node_a.name}|{node_b.name}"
         self.endpoints = (node_a, node_b)
         self.rng = rng if rng is not None else DRBG(f"link:{node_a.name}|{node_b.name}")
         self._busy_until = {node_a.name: 0.0, node_b.name: 0.0}
@@ -159,6 +163,12 @@ class Link:
         receiver = self.other(sender)
         if not self.up:
             self.frames_lost += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    self.simulator.now, self._obs_node, EventKind.LINK_LOSS,
+                    info=f"down {sender.name}->{receiver.name}",
+                )
+                self._obs.registry.counter("link.frames_lost").inc()
             return
         self.frames_sent += 1
         self.bytes_sent += frame.size
@@ -172,14 +182,34 @@ class Link:
         self._busy_until[sender.name] = done_sending
 
         if self._draw_loss(sender.name):
+            if self._obs.enabled:
+                burst = self._burst_bad[sender.name]
+                self._obs.tracer.emit(
+                    self.simulator.now, self._obs_node, EventKind.LINK_LOSS,
+                    info=f"{'burst' if burst else 'random'}"
+                    f" {sender.name}->{receiver.name}",
+                )
+                self._obs.registry.counter("link.frames_lost").inc()
             return
 
         if self.config.corrupt_rate and self.rng.uniform() < self.config.corrupt_rate:
             frame = self._corrupt(frame)
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    self.simulator.now, self._obs_node, EventKind.LINK_CORRUPT,
+                    info=f"{sender.name}->{receiver.name}",
+                )
+                self._obs.registry.counter("link.frames_corrupted").inc()
 
         self._schedule_arrival(frame, receiver, done_sending)
         if self.config.duplicate_rate and self.rng.uniform() < self.config.duplicate_rate:
             self.frames_duplicated += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    self.simulator.now, self._obs_node, EventKind.LINK_DUP,
+                    info=f"{sender.name}->{receiver.name}",
+                )
+                self._obs.registry.counter("link.frames_duplicated").inc()
             self._schedule_arrival(frame.copy(), receiver, done_sending)
 
     # -- internals -------------------------------------------------------------

@@ -21,8 +21,17 @@ from repro.netsim.simulator import Simulator
 class Network:
     """A simulator plus named nodes, links, and routing."""
 
-    def __init__(self, simulator: Simulator | None = None, seed: int | str = 0) -> None:
+    def __init__(
+        self,
+        simulator: Simulator | None = None,
+        seed: int | str = 0,
+        obs=None,
+    ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
+        #: Optional :class:`repro.obs.Observability` shared by every link
+        #: created through :meth:`connect` (frame loss/corruption/dup
+        #: events land in its tracer).
+        self.obs = obs
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         self.rng = DRBG(seed, personalization=b"network")
@@ -44,6 +53,7 @@ class Network:
             self.nodes[b],
             config,
             rng=self.rng.fork(f"link:{a}|{b}"),
+            obs=self.obs,
         )
         self.links.append(link)
         # A tiny unique per-edge epsilon makes shortest paths unique, and
@@ -118,6 +128,7 @@ class Network:
         config: LinkConfig = LinkConfig(),
         seed: int | str = 0,
         names: list[str] | None = None,
+        obs=None,
     ) -> "Network":
         """A linear path with ``hops`` links (``hops + 1`` nodes).
 
@@ -127,7 +138,7 @@ class Network:
         """
         if hops < 1:
             raise ValueError("a chain needs at least one hop")
-        net = cls(seed=seed)
+        net = cls(seed=seed, obs=obs)
         if names is None:
             names = ["s"] + [f"r{i}" for i in range(1, hops)] + ["v"]
         if len(names) != hops + 1:

@@ -1,0 +1,155 @@
+"""Canonical exchange replays: paper Figures 2–4 as driveable scripts.
+
+Each runner builds a fresh signer → relay → verifier channel sharing one
+enabled :class:`~repro.obs.Observability`, then drives the packets leg
+by leg with an advancing simulated clock (``hop_delay_s`` per hop). The
+resulting trace is deterministic, so the conformance suite can assert
+the *exact* event sequence, and ``python -m repro trace`` can print it
+as a worked timeline.
+
+The four canonical exchanges (ISSUE/tentpole vocabulary):
+
+- ``basic``     — base mode, unreliable: S1 → A1 → S2 (Figure 2).
+- ``reliable``  — base mode, reliable: S1 → A1 → S2 → A2 (Figure 3).
+- ``alpha-c``   — cumulative mode, unreliable n-burst: one S1 carries n
+  pre-signature MACs, answered by one A1, followed by n S2s (Figure 4a).
+- ``alpha-m``   — Merkle mode, reliable: one S1 carries the tree root,
+  each S2 carries its authentication path, each answered by an A2.
+"""
+
+from __future__ import annotations
+
+from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier, HashChain
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import decode_packet
+from repro.core.relay import RelayEngine
+from repro.core.signer import ChannelConfig, SignerSession
+from repro.core.verifier import VerifierSession
+from repro.crypto.drbg import DRBG
+from repro.obs import Observability
+
+#: Association id used by every canonical replay.
+CANONICAL_ASSOC = 0xA1FA
+
+#: Name → (mode, reliability, message count).
+CANONICAL_EXCHANGES: dict[str, tuple[Mode, ReliabilityMode, int]] = {
+    "basic": (Mode.BASE, ReliabilityMode.UNRELIABLE, 1),
+    "reliable": (Mode.BASE, ReliabilityMode.RELIABLE, 1),
+    "alpha-c": (Mode.CUMULATIVE, ReliabilityMode.UNRELIABLE, 4),
+    "alpha-m": (Mode.MERKLE, ReliabilityMode.RELIABLE, 4),
+}
+
+
+class CanonicalChannel:
+    """A signer/relay/verifier triple sharing one observability context."""
+
+    def __init__(
+        self,
+        mode: Mode,
+        reliability: ReliabilityMode,
+        batch_size: int,
+        obs: Observability,
+        hash_name: str = "sha1",
+        chain_length: int = 64,
+        seed: int | str = 0,
+    ) -> None:
+        from repro.crypto.hashes import get_hash
+
+        self.obs = obs
+        rng = DRBG(seed, personalization=b"canonical")
+        hash_fn = get_hash(hash_name)
+        self.hash_size = hash_fn.digest_size
+        sig_chain = HashChain(hash_fn, rng.random_bytes(self.hash_size), chain_length)
+        ack_chain = HashChain(
+            hash_fn,
+            rng.random_bytes(self.hash_size),
+            chain_length,
+            tags=ACKNOWLEDGMENT_TAGS,
+        )
+        config = ChannelConfig(
+            mode=mode, reliability=reliability, batch_size=batch_size
+        )
+        self.signer = SignerSession(
+            hash_fn,
+            sig_chain,
+            ChainVerifier(hash_fn, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
+            config,
+            CANONICAL_ASSOC,
+            peer="verifier",
+            obs=obs,
+            node="signer",
+        )
+        self.verifier = VerifierSession(
+            hash_fn,
+            ack_chain,
+            ChainVerifier(hash_fn, sig_chain.anchor),
+            CANONICAL_ASSOC,
+            rng.fork("verifier"),
+            obs=obs,
+            node="verifier",
+        )
+        self.relay = RelayEngine(hash_fn, obs=obs, name="relay")
+        self.relay.provision(
+            assoc_id=CANONICAL_ASSOC,
+            initiator="signer",
+            responder="verifier",
+            initiator_sig_anchor=sig_chain.anchor,
+            initiator_ack_anchor=ack_chain.anchor,
+            responder_sig_anchor=sig_chain.anchor,
+            responder_ack_anchor=ack_chain.anchor,
+            hash_name=hash_name,
+        )
+
+
+def run_canonical(
+    name: str,
+    obs: Observability | None = None,
+    hop_delay_s: float = 0.005,
+    seed: int | str = 0,
+) -> Observability:
+    """Replay one canonical exchange; returns the observability context.
+
+    The clock advances by ``hop_delay_s`` for every wire leg, so the
+    trace timeline reads like a packet capture of the two-hop path
+    signer → relay → verifier.
+    """
+    try:
+        mode, reliability, count = CANONICAL_EXCHANGES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown canonical exchange {name!r}; "
+            f"pick one of {sorted(CANONICAL_EXCHANGES)}"
+        ) from None
+    if obs is None:
+        obs = Observability()
+    channel = CanonicalChannel(mode, reliability, count, obs, seed=seed)
+    messages = [b"alpha-%d" % i for i in range(count)]
+
+    t = 0.0
+    for message in messages:
+        channel.signer.submit(message)
+    s1 = channel.signer.poll(t)[0]
+    t += hop_delay_s
+    assert channel.relay.handle(s1, "signer", "verifier", t).forward
+    t += hop_delay_s
+    a1 = channel.verifier.handle_s1(decode_packet(s1, channel.hash_size), t)
+    assert a1 is not None
+    t += hop_delay_s
+    assert channel.relay.handle(a1, "verifier", "signer", t).forward
+    t += hop_delay_s
+    s2s = channel.signer.handle_a1(decode_packet(a1, channel.hash_size), t)
+    assert len(s2s) == count
+    for s2 in s2s:
+        t += hop_delay_s
+        assert channel.relay.handle(s2, "signer", "verifier", t).forward
+        t += hop_delay_s
+        a2 = channel.verifier.handle_s2(decode_packet(s2, channel.hash_size), t)
+        if a2 is not None:
+            t += hop_delay_s
+            assert channel.relay.handle(a2, "verifier", "signer", t).forward
+            t += hop_delay_s
+            channel.signer.handle_a2(decode_packet(a2, channel.hash_size), t)
+    delivered = channel.verifier.drain_delivered()
+    assert [m.message for m in delivered] == messages
+    assert channel.signer.idle
+    return obs

@@ -1,0 +1,66 @@
+"""Render a trace as a human-readable timeline and summary.
+
+Backs ``python -m repro trace``: the timeline is one line per event in
+simulated-time order, the summary aggregates event counts per node and
+appends the metrics snapshot — a quick way to *see* the S1/A1/S2(/A2)
+interlock of paper Figures 2–4 actually happening.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.obs.trace import TraceEvent
+
+
+def format_timeline(events: list[TraceEvent]) -> str:
+    """One line per event: ``time  node  kind  seq[/msg]  info``."""
+    if not events:
+        return "(no events)"
+    lines = []
+    for event in events:
+        ident = f"seq={event.seq}"
+        if event.msg_index >= 0:
+            ident += f" msg={event.msg_index}"
+        lines.append(
+            f"{event.t * 1000.0:9.3f} ms  {event.node:<10} "
+            f"{event.kind.value:<18} {ident:<14} {event.info}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_summary(obs: Observability) -> str:
+    """Event counts per (node, kind) plus the metrics snapshot."""
+    lines = ["event counts:"]
+    counts: dict[tuple[str, str], int] = {}
+    for event in obs.tracer.events:
+        key = (event.node, event.kind.value)
+        counts[key] = counts.get(key, 0) + 1
+    for (node, kind), n in sorted(counts.items()):
+        lines.append(f"  {node:<10} {kind:<18} {n}")
+    if obs.tracer.dropped:
+        lines.append(f"  (+{obs.tracer.dropped} events dropped: buffer full)")
+    snapshot = obs.registry.snapshot()
+    if snapshot:
+        lines.append("metrics:")
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            if isinstance(value, dict):
+                count = value.get("count")
+                mean = (
+                    value["sum"] / count
+                    if count and "sum" in value
+                    else None
+                )
+                if mean is not None:
+                    lines.append(
+                        f"  {name:<26} count={count} mean={mean:.4f} "
+                        f"min={value.get('min'):.4f} max={value.get('max'):.4f}"
+                    )
+                else:
+                    rendered = ", ".join(
+                        f"{k}={v}" for k, v in value.items() if v
+                    )
+                    lines.append(f"  {name:<26} {rendered}")
+            else:
+                lines.append(f"  {name:<26} {value}")
+    return "\n".join(lines)

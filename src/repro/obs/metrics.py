@@ -1,0 +1,241 @@
+"""Zero-dependency metrics: counters, gauges, histograms, a registry.
+
+The registry is the measurement substrate the benchmarks and the
+conformance suite read from. Design constraints, in order:
+
+1. Near-zero overhead when disabled — a disabled registry hands out
+   shared null instruments whose mutators are no-ops, and every
+   instrumented hot path in the protocol engines is additionally guarded
+   by a single ``if obs.enabled:`` boolean check, so the disabled cost
+   is one attribute load + branch per call site.
+2. No dependencies — plain dicts and dataclass-free ``__slots__``
+   classes; snapshots are ordinary ``dict`` subclasses.
+3. Pull-friendly — ``bind`` registers a callable sampled at snapshot
+   time, which is how the per-role :class:`~repro.crypto.hashes.OpCounter`
+   blocks are exported without touching the crypto hot path at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, buffered bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+#: Default histogram bucket boundaries, tuned for seconds-scale protocol
+#: latencies (RTT samples, RTO values) but serviceable for byte counts.
+DEFAULT_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        # One bucket per bound plus the overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        for i, bound in enumerate(self.bounds):
+            if self.buckets[i]:
+                buckets[f"le_{bound:g}"] = self.buckets[i]
+        if self.buckets[-1]:
+            buckets["overflow"] = self.buckets[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared sink handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def add(self, delta: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null", bounds=())
+
+
+class MetricsSnapshot(dict):
+    """A point-in-time ``{name: value}`` view of a registry.
+
+    Histogram entries are nested dicts; everything else is numeric.
+    ``diff`` subtracts an earlier snapshot, recursing one level into
+    dict values (histogram count/sum, bound label dicts), which is what
+    the Table 1 benchmarks use to isolate the measured window.
+    """
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        out = MetricsSnapshot()
+        for name, value in self.items():
+            before = earlier.get(name)
+            if isinstance(value, dict):
+                base = before if isinstance(before, dict) else {}
+                out[name] = {
+                    key: (
+                        inner - base.get(key, 0)
+                        if isinstance(inner, (int, float)) and not isinstance(inner, bool)
+                        else inner
+                    )
+                    for key, inner in value.items()
+                }
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[name] = value - (before if isinstance(before, (int, float)) else 0)
+            else:
+                out[name] = value
+        return out
+
+
+class MetricsRegistry:
+    """Names instruments; snapshots and resets them as one unit."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._bound: dict[str, Callable[[], object]] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def bind(self, name: str, sample: Callable[[], object]) -> None:
+        """Register a callable sampled lazily at snapshot time.
+
+        The sample may return a number or a ``{label: number}`` dict
+        (e.g. an OpCounter's per-label hash breakdown).
+        """
+        if self.enabled:
+            self._bound[name] = sample
+
+    def snapshot(self) -> MetricsSnapshot:
+        snap = MetricsSnapshot()
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            snap[name] = histogram.snapshot()
+        for name, sample in self._bound.items():
+            snap[name] = sample()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every owned instrument; bound samples are left alone."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

@@ -21,6 +21,7 @@ import time
 
 from repro.core.endpoint import AlphaEndpoint
 from repro.core.resilience import ResilienceStats
+from repro.obs import EventKind
 
 _MAX_DATAGRAM = 65507
 
@@ -35,6 +36,9 @@ class UdpTransport:
         clock=time.monotonic,
     ) -> None:
         self.endpoint = endpoint
+        #: The endpoint's observability context (tracer + registry);
+        #: disabled unless the endpoint enabled it.
+        self.obs = endpoint.obs
         self._clock = clock
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.bind(bind)
@@ -94,6 +98,12 @@ class UdpTransport:
                 src = self._names_by_address.get(address)
                 if src is None:
                     continue  # unknown sender: not in the peer directory
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        self._clock(), self.endpoint.name, EventKind.UDP_RX,
+                        info=f"src={src} bytes={len(data)}",
+                    )
+                    self.obs.registry.counter("udp.datagrams_rx").inc()
                 try:
                     out = self.endpoint.on_packet(data, src, self._clock())
                 except Exception:
@@ -102,6 +112,12 @@ class UdpTransport:
                     # (The endpoint already swallows clean PacketErrors;
                     # this guards against parse bugs deeper in the stack.)
                     self.stats.malformed_drops += 1
+                    if self.obs.enabled:
+                        self.obs.tracer.emit(
+                            self._clock(), self.endpoint.name,
+                            EventKind.PARSE_DROP, info=f"udp src={src}",
+                        )
+                        self.obs.registry.counter("udp.malformed_drops").inc()
                     continue
                 self._dispatch(out)
         out = self.endpoint.poll(self._clock())
@@ -154,4 +170,10 @@ class UdpTransport:
         try:
             self._socket.sendto(payload, address)
         except OSError:
-            pass  # transient send failure; retransmission recovers
+            return  # transient send failure; retransmission recovers
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                self._clock(), self.endpoint.name, EventKind.UDP_TX,
+                info=f"dst={peer} bytes={len(payload)}",
+            )
+            self.obs.registry.counter("udp.datagrams_tx").inc()

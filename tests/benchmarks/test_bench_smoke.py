@@ -1,0 +1,36 @@
+"""Tier-1 smoke over every benchmark module.
+
+Each ``benchmarks/bench_*.py`` exposes a ``smoke()`` that drives its
+real measurement code at toy scale (one tiny iteration, shrunken size
+constants). Running them here means bench bit-rot — an import error, a
+renamed helper, a harness API drift — fails the ordinary test run
+instead of lying dormant until someone regenerates the paper tables.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import benchmarks
+
+BENCH_MODULES = sorted(
+    info.name
+    for info in pkgutil.iter_modules(benchmarks.__path__)
+    if info.name.startswith("bench_")
+)
+
+
+def test_every_bench_module_is_covered():
+    # Guards the parametrization itself: if the discovery glob silently
+    # matched nothing (package layout change), fail loudly.
+    assert len(BENCH_MODULES) >= 17
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_bench_smoke(name):
+    module = importlib.import_module(f"benchmarks.{name}")
+    assert hasattr(module, "smoke"), f"{name} is missing a smoke() entry point"
+    module.smoke()

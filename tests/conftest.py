@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import OpCounter, get_hash
+
+# Deflake: every source of randomness in the suite is pinned. Soak and
+# simulation tests seed their DRBGs explicitly; Hypothesis is
+# derandomized suite-wide so tier-1 cannot flake on a novel example
+# draw. Set HYPOTHESIS_PROFILE=explore to hunt fresh examples locally.
+from hypothesis import settings as _hypothesis_settings
+
+_hypothesis_settings.register_profile("deterministic", derandomize=True)
+_hypothesis_settings.register_profile("explore", derandomize=False)
+_hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "deterministic")
+)
 
 
 @pytest.fixture
