@@ -11,7 +11,6 @@
    grows (the CPU-bounding knob of our ChainVerifier).
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from benchmarks.harness import build_channel, run_exchange
@@ -45,8 +44,6 @@ def test_ablation_preacks_vs_double_signature(emit, benchmark):
     # 3-way signature for the acknowledgment = 6 packets, 3 RTT.
     channel = build_channel(reliability=ReliabilityMode.RELIABLE)
     packets = {"count": 0}
-    import repro.core.relay as relay_mod
-
     original = channel.relay.handle
 
     def counting_handle(data, src, dst, now):
@@ -180,7 +177,7 @@ def test_ablation_chain_storage(emit, benchmark):
     rows = []
     seed = rng.random_bytes(20)
 
-    plain = HashChain(sha1, seed, n)
+    HashChain(sha1, seed, n)
     rows.append(["full storage", (n + 1) * 20, 0, "baseline"])
 
     for k in (16, 64, 256):

@@ -7,7 +7,6 @@ whole path. Compares against the baselines' blind spots (HMAC-E2E
 relays forward everything; LHAP relays accept insider tampering).
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.attacks import PacketForger, S1Flooder
@@ -85,7 +84,7 @@ def test_attack_filtering(emit, benchmark):
 
     # -- baseline blind spots -----------------------------------------------------
     sha1 = get_hash("sha1")
-    hmac_channel = HmacEndToEnd(sha1, b"e2e")
+    HmacEndToEnd(sha1, b"e2e")
     rng = DRBG(5)
     lhap_a = LhapNode("a", sha1, rng.fork("a"))
     lhap_b = LhapNode("b", sha1, rng.fork("b"))

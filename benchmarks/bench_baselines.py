@@ -13,7 +13,6 @@ Quantifies Section 2's qualitative critique:
   lost packet; ALPHA's per-exchange chains resynchronize.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.baselines.guy_fawkes import GuyFawkesSigner, GuyFawkesVerifier

@@ -9,7 +9,6 @@ unprotected goodput, base ALPHA pays one RTT per message, and loss
 degrades unreliable delivery linearly while reliable mode holds at 100%.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core.adapter import EndpointAdapter, RelayAdapter

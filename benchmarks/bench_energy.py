@@ -7,7 +7,6 @@ through the CC2430 cost model, then prices both with the 802.15.4
 energy model — µJ per delivered authenticated byte, per mode.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core.adapter import EndpointAdapter, RelayAdapter

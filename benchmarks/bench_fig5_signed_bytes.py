@@ -7,7 +7,6 @@ for n <= 2^10, and verifies the see-saw pattern and curve collapse the
 paper highlights. The rendered series is written as a CSV-ish table.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core import analysis

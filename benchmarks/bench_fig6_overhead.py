@@ -7,11 +7,10 @@ curve is validated against what the byte counters actually record.
 
 import math
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core import analysis
-from repro.core.adapter import EndpointAdapter, RelayAdapter
+from repro.core.adapter import EndpointAdapter
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
 from repro.core.modes import Mode
 from repro.netsim import Network, TraceCollector

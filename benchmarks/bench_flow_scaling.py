@@ -8,7 +8,6 @@ bench measures one relay's memory and per-packet CPU as the number of
 concurrent associations through it grows.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core.adapter import EndpointAdapter, RelayAdapter

@@ -12,7 +12,6 @@ retransmission timer precisely when bursts make the fixed timer either
 too eager (spurious retransmits) or too lazy (idle gaps).
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro.core.adapter import EndpointAdapter, RelayAdapter

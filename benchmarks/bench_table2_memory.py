@@ -8,7 +8,6 @@ full messages instead of MACs (regular signed messages), the comparison
 behind the paper's Section 3.1.1 claim.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from benchmarks.harness import build_channel

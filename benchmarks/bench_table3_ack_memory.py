@@ -6,7 +6,6 @@ ALPHA-M) plus the relay's buffered commitment bytes. Includes the
 AMT-vs-flat-pre-acks ablation the paper's Section 3.3.3 motivates.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from benchmarks.harness import build_channel

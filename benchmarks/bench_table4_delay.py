@@ -19,7 +19,6 @@ actual claims.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import format_table
 from benchmarks.harness import build_channel

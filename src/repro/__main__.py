@@ -8,6 +8,8 @@ writing code:
 - ``wsn``      — print the Section 4.1.3 sensor-network estimates.
 - ``trace``    — replay a canonical exchange with the observability
   layer enabled and print its event timeline + summary (PROTOCOL.md §9).
+- ``adapt``    — run the adaptive mode controller (PROTOCOL.md §10) on
+  a bursty 3-hop path and print its switch/tune decisions.
 - ``selftest`` — fast internal consistency check (crypto vectors, one
   protocol round trip); exits non-zero on failure.
 """
@@ -64,6 +66,57 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_adapt() -> int:
+    from repro.core.adapter import EndpointAdapter, RelayAdapter
+    from repro.core.adaptive import AdaptiveConfig
+    from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+    from repro.core.modes import Mode, ReliabilityMode
+    from repro.netsim import Network
+    from repro.netsim.link import LinkConfig
+
+    # Gilbert-Elliott bursts, ~20% average loss: hostile enough that the
+    # controller has a reason to leave BASE and pick ALPHA-M.
+    link = LinkConfig(
+        latency_s=0.003, ge_p_bad=0.08, ge_p_good=0.3, ge_loss_bad=0.8
+    )
+    net = Network.chain(3, config=link, seed=7)
+    config = EndpointConfig(
+        mode=Mode.BASE,
+        reliability=ReliabilityMode.RELIABLE,
+        chain_length=2048,
+        retransmit_timeout_s=0.15,
+        max_retries=100,
+        rto_max_s=5.0,
+        dead_peer_threshold=0,
+        adaptive=True,
+        adaptive_config=AdaptiveConfig(
+            decision_interval_s=0.25, warmup_intervals=1, switch_cooldown_s=1.0
+        ),
+    )
+    s = EndpointAdapter(AlphaEndpoint("s", config, seed="adapt-s"), net.nodes["s"])
+    v = EndpointAdapter(AlphaEndpoint("v", config, seed="adapt-v"), net.nodes["v"])
+    for i in (1, 2):
+        RelayAdapter(net.nodes[f"r{i}"])
+    s.connect("v")
+    net.simulator.run(until=10.0)
+    print(f"handshake: established={s.established('v')}")
+    for i in range(32):
+        s.send("v", b"adapt-%02d" % i + b"." * 120)
+    net.simulator.run(until=120.0)
+    controller = s.endpoint.association("v").controller
+    assert controller is not None
+    print(f"delivered: {len(v.received)}/32 under ~20% burst loss")
+    print(f"controller decisions ({len(controller.decisions)}):")
+    for d in controller.decisions:
+        print(f"  t={d.at:7.3f}s  {d.kind:<6}  {d.reason}")
+    final = s.endpoint.association("v").signer.config
+    print(
+        f"final channel: mode={final.mode.name.lower()} "
+        f"batch={final.batch_size} outstanding={final.max_outstanding}"
+    )
+    return 0
+
+
 def _cmd_wsn() -> int:
     from repro.core import analysis
     from repro.devices import get_profile
@@ -113,7 +166,7 @@ def _cmd_selftest() -> int:
 
 #: Canonical exchange names (mirrors repro.obs.canonical, kept literal
 #: so argument parsing does not import the protocol stack).
-_TRACE_EXCHANGES = ("alpha-c", "alpha-m", "basic", "reliable")
+_TRACE_EXCHANGES = ("adaptive", "alpha-c", "alpha-m", "basic", "reliable")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -132,6 +185,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "tables": _cmd_tables,
     "demo": _cmd_demo,
+    "adapt": _cmd_adapt,
     "wsn": _cmd_wsn,
     "selftest": _cmd_selftest,
 }

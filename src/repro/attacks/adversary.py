@@ -6,7 +6,7 @@ reproduce exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.modes import Mode
 from repro.core.packets import (

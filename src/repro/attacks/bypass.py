@@ -28,7 +28,7 @@ would use; DESIGN.md's substitution table applies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
 from repro.crypto.drbg import DRBG

@@ -17,8 +17,7 @@ holds against time-based schemes for multi-hop unicast (Section 2.1.1):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.wire import Reader, Writer
 from repro.crypto.hashes import HashFunction

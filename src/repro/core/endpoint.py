@@ -30,6 +30,7 @@ from repro.core.bootstrap import (
     build_handshake,
     validate_handshake,
 )
+from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.exceptions import AlphaError, ProtocolError
 from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier
 from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
@@ -97,6 +98,13 @@ class EndpointConfig:
     #: boolean check per instrumented call site. An explicit ``obs``
     #: argument to :class:`AlphaEndpoint` overrides this flag.
     observe: bool = False
+    #: Attach an :class:`~repro.core.adaptive.AdaptiveController` to
+    #: every association's signer: mode, batch size, and pipelining
+    #: depth then track the observed loss/queue/RTT signals instead of
+    #: staying pinned to the static values above (PROTOCOL.md §10).
+    adaptive: bool = False
+    #: Controller tuning; ``None`` uses the AdaptiveConfig defaults.
+    adaptive_config: AdaptiveConfig | None = None
 
     def channel_config(self) -> ChannelConfig:
         return ChannelConfig(
@@ -136,6 +144,8 @@ class Association:
     retired: bool = False
     #: Dead-peer detection tripped: the peer stopped answering.
     down: bool = False
+    #: Feedback controller over the signer's channel (adaptive mode).
+    controller: AdaptiveController | None = None
 
 
 @dataclass
@@ -179,6 +189,11 @@ class AlphaEndpoint:
         #: peers, parse drops); per-signer counters are folded in by
         #: :meth:`resilience_stats`.
         self.stats = ResilienceStats()
+        #: Counters absorbed from retired associations' signers. Kept
+        #: separate from :attr:`stats` so live-signer blocks are never
+        #: merged into a block that outlives them — snapshots stay
+        #: idempotent no matter how often they are taken.
+        self._drained = ResilienceStats()
 
     # -- association management ------------------------------------------------
 
@@ -333,7 +348,7 @@ class AlphaEndpoint:
             self._maybe_rekey(assoc, now, out)
             if assoc.retired and assoc.signer.idle:
                 # Preserve the drained association's counters before it goes.
-                self.stats.merge(assoc.signer.stats)
+                self._drained.merge(assoc.signer.stats)
                 del self._by_id[assoc.assoc_id]
         return out
 
@@ -387,6 +402,13 @@ class AlphaEndpoint:
             obs=self.obs,
             node=self.name,
         )
+        if self.config.adaptive:
+            assoc.controller = AdaptiveController(
+                assoc.signer,
+                config=self.config.adaptive_config,
+                obs=self.obs,
+                node=self.name,
+            )
         assoc.verifier = VerifierSession(
             hash_fn=self.hash_fn,
             ack_chain=chains.acknowledgment,
@@ -546,6 +568,10 @@ class AlphaEndpoint:
     def _collect_signer_output(
         self, assoc: Association, now: float, out: EndpointOutput
     ) -> None:
+        if assoc.controller is not None:
+            # Re-tune before starting new exchanges so a decision made
+            # this tick shapes the exchange this same poll opens.
+            assoc.controller.poll(now)
         for payload in assoc.signer.poll(now):
             out.replies.append((assoc.peer, payload))
         for report in assoc.signer.drain_reports():
@@ -636,10 +662,17 @@ class AlphaEndpoint:
             del self._by_peer[assoc.peer]
 
     def resilience_stats(self) -> ResilienceStats:
-        """Aggregate counters: endpoint-level plus every live signer."""
-        total = ResilienceStats()
-        total.merge(self.stats)
-        for assoc in self._by_id.values():
-            if assoc.signer is not None:
-                total.merge(assoc.signer.stats)
-        return total
+        """Aggregate counters: endpoint-level, drained, and live signers.
+
+        Idempotent: builds a fresh block every call without mutating any
+        source, so repeated snapshots return identical totals.
+        """
+        return ResilienceStats.aggregate(
+            self.stats,
+            self._drained,
+            *(
+                assoc.signer.stats
+                for assoc in self._by_id.values()
+                if assoc.signer is not None
+            ),
+        )

@@ -238,14 +238,16 @@ class ChainVerifier:
         # prune cannot discard it — the filter below keeps every entry
         # that a legal disclosure or pipelined identity token can still
         # claim, including the one exactly at the horizon (a commit with
-        # gap == resync_window).
+        # gap == resync_window). Pruning runs on every commit: a lazy
+        # size-triggered prune would let dead entries linger forever on
+        # long-lived associations that never cross the trigger, so the
+        # cache size would not be a function of the window alone.
         horizon = self.trusted.index + self.resync_window
-        if len(self._derived) > 2 * self.resync_window:
-            self._derived = {
-                index: value
-                for index, value in self._derived.items()
-                if self.trusted.index < index <= horizon
-            }
+        self._derived = {
+            index: value
+            for index, value in self._derived.items()
+            if self.trusted.index < index <= horizon
+        }
 
     def require(self, element: ChainElement, commit: bool = True) -> None:
         """Like :meth:`verify` but raises on failure."""
@@ -328,6 +330,19 @@ class CheckpointedHashChain:
             return ChainElement(index, cached)
         base = (index // self.checkpoint_interval) * self.checkpoint_interval
         if self._segment_base != base:
+            if base not in self._checkpoints:
+                # The checkpoint this element depends on was pruned when
+                # the cursor walked below it (_rebuild_segment drops
+                # checkpoints above the consumption horizon). Already-
+                # disclosed elements are never needed again, so the value
+                # is permanently unavailable by design — say so, instead
+                # of leaking a bare KeyError from the checkpoint dict.
+                raise IndexError(
+                    f"chain position {index} lies above the pruned horizon "
+                    f"(cursor {self._cursor}, interval "
+                    f"{self.checkpoint_interval}) and is permanently "
+                    "unavailable"
+                )
             self._rebuild_segment(base)
         return ChainElement(index, self._segment[index - base])
 

@@ -29,6 +29,22 @@ class Mode(enum.IntEnum):
     #: S2 packets with constant cost" (Section 3.3.2, last paragraph).
     MERKLE_CUMULATIVE = 3
 
+    @property
+    def batched(self) -> bool:
+        """True for the modes that amortize one S1 over many messages."""
+        return self is not Mode.BASE
+
+    @property
+    def constant_s1(self) -> bool:
+        """True when the S1 size is independent of the batch size.
+
+        Merkle-family pre-signatures compress a whole batch into one (or
+        a few) roots, so an S1 lost to a bursty link is cheap to resend —
+        the property the adaptive controller exploits under loss
+        (Section 3.3.2 versus the linear {Mc} list of ALPHA-C).
+        """
+        return self in (Mode.MERKLE, Mode.MERKLE_CUMULATIVE)
+
 
 class ReliabilityMode(enum.IntEnum):
     """Acknowledgment handling of an exchange."""

@@ -199,8 +199,22 @@ class _ChannelObserver:
         cap = self.config.max_buffered_bytes
         if cap is not None:
             while len(self.exchanges) > 1 and self.buffered_bytes > cap:
-                self._evict(min(self.exchanges), now, "byte-cap")
+                self._evict(self._least_recent(), now, "byte-cap")
                 self.resilience.evictions_capacity += 1
+
+    def _least_recent(self) -> int:
+        """Sequence number of the least recently touched exchange.
+
+        Under pipelining the lowest sequence number may be the exchange
+        the peer is actively retransmitting (and therefore the worst
+        possible eviction victim), so capacity eviction is keyed on
+        ``last_seen`` with the sequence number only as a deterministic
+        tie-break.
+        """
+        return min(
+            self.exchanges,
+            key=lambda seq: (self.exchanges[seq].last_seen, seq),
+        )
 
     def _touch(self, exchange: _RelayExchange, now: float) -> None:
         exchange.last_seen = now
@@ -265,7 +279,7 @@ class _ChannelObserver:
             )
             self._obs.registry.counter("relay.admits").inc()
         while len(self.exchanges) > self.config.max_buffered_exchanges:
-            self._evict(min(self.exchanges), now, "entry-cap")
+            self._evict(self._least_recent(), now, "entry-cap")
             self.resilience.evictions_capacity += 1
         self._enforce_byte_cap(now)
         return RelayDecision(True, "s1-ok", verified=True)

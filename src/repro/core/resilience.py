@@ -119,6 +119,10 @@ class ResilienceStats:
     ``as_dict`` snapshots for assertions and reports.
     """
 
+    #: Protocol packets put on the wire (S1/S2 and their resends). The
+    #: denominator for the adaptive controller's retransmit-ratio loss
+    #: estimate.
+    packets_sent: int = 0
     #: Packets sent again after a timeout or nack.
     retransmits: int = 0
     #: Times an RTO was multiplied (one per timeout-triggered resend).
@@ -145,9 +149,32 @@ class ResilienceStats:
     malformed_drops: int = 0
 
     def merge(self, other: "ResilienceStats") -> "ResilienceStats":
+        """Fold ``other`` into this block, mutating it.
+
+        Only safe when the target is a dedicated accumulator and each
+        source block is folded in exactly once (e.g. absorbing a retired
+        session's counters). For repeatable snapshots over live blocks
+        use :meth:`aggregate`, which never touches its inputs.
+        """
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
+
+    def copy(self) -> "ResilienceStats":
+        return ResilienceStats(**self.as_dict())
+
+    @classmethod
+    def aggregate(cls, *blocks: "ResilienceStats") -> "ResilienceStats":
+        """Sum ``blocks`` into a fresh instance, leaving them untouched.
+
+        This is the idempotent counterpart to :meth:`merge`: calling it
+        twice over the same live blocks yields identical totals, so
+        snapshot paths cannot double-count.
+        """
+        total = cls()
+        for block in blocks:
+            total.merge(block)
+        return total
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

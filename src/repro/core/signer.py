@@ -19,7 +19,6 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.acktree import AckOpening, verify_ack_opening
-from repro.core.exceptions import ProtocolError
 from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
 from repro.core.merkle import MerkleTree
 from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
@@ -173,6 +172,9 @@ class SignerSession:
             max_rto_s=config.rto_max_s,
         )
         self.stats = ResilienceStats()
+        #: EWMA of submitted payload sizes — an adaptation signal (the
+        #: best mode depends on message size, paper Section 3.3).
+        self.mean_message_size = 0.0
         self._queue: deque[bytes] = deque()
         self._exchanges: dict[int, _Exchange] = {}
         self._next_seq = 1
@@ -212,6 +214,10 @@ class SignerSession:
             )
         if len(message) > 0xFFFF:
             raise ValueError("message exceeds the 64 KiB wire limit")
+        if self.mean_message_size:
+            self.mean_message_size += 0.25 * (len(message) - self.mean_message_size)
+        else:
+            self.mean_message_size = float(len(message))
         self._queue.append(message)
 
     def poll(self, now: float) -> list[bytes]:
@@ -230,8 +236,11 @@ class SignerSession:
             resent = "s1"
             if exchange.state is ExchangeState.AWAIT_A1:
                 out.append(exchange.s1_bytes)
+                self.stats.packets_sent += 1
             elif exchange.state is ExchangeState.AWAIT_A2:
-                out.extend(self._retransmit_s2(exchange))
+                resends = self._retransmit_s2(exchange)
+                out.extend(resends)
+                self.stats.packets_sent += len(resends)
                 resent = "s2"
             if self._obs.enabled:
                 self._obs.tracer.emit(
@@ -303,6 +312,7 @@ class SignerSession:
             exchange.pre_nacks = list(packet.pre_nacks)
             exchange.amt_root = packet.amt_root
         s2_packets = self._build_s2_packets(exchange)
+        self.stats.packets_sent += len(s2_packets)
         if self._obs.enabled:
             for index in range(len(s2_packets)):
                 self._obs.tracer.emit(
@@ -365,6 +375,7 @@ class SignerSession:
             return []
         if exchange.nacked:
             out = self._retransmit_s2(exchange, only=exchange.nacked)
+            self.stats.packets_sent += len(out)
             if self._obs.enabled:
                 self._obs.tracer.emit(
                     now, self._node, EventKind.RETRANSMIT, self.assoc_id,
@@ -415,6 +426,7 @@ class SignerSession:
             reliable=reliable,
         )
         s1_bytes = s1.encode()
+        self.stats.packets_sent += 1
         self._exchanges[seq] = _Exchange(
             seq=seq,
             mode=mode,

@@ -349,8 +349,20 @@ class VerifierSession:
     def _remember(self, exchange: _VerifierExchange) -> None:
         self._exchanges[exchange.seq] = exchange
         while len(self._exchanges) > self.max_buffered_exchanges:
-            oldest = min(self._exchanges)
-            del self._exchanges[oldest]
+            # Shed fully delivered exchanges before live ones — under
+            # pipelining (and mid-association mode switches, which can
+            # briefly widen the in-flight window) evicting a buffered
+            # exchange that still awaits S2s would silently drop its
+            # messages. Within each class, the lowest sequence goes
+            # first.
+            victim = min(
+                self._exchanges.values(),
+                key=lambda ex: (
+                    len(ex.delivered) < ex.message_count,
+                    ex.seq,
+                ),
+            )
+            del self._exchanges[victim.seq]
 
     def drain_delivered(self) -> list[DeliveredMessage]:
         """Return and clear messages authenticated since the last drain."""

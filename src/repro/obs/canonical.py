@@ -15,6 +15,12 @@ The four canonical exchanges (ISSUE/tentpole vocabulary):
   pre-signature MACs, answered by one A1, followed by n S2s (Figure 4a).
 - ``alpha-m``   — Merkle mode, reliable: one S1 carries the tree root,
   each S2 carries its authentication path, each answered by an A2.
+
+A fifth replay, ``adaptive``, scripts a whole controller arc
+(PROTOCOL.md §10): a quiet BASE exchange, a backlog that pulls the
+channel into ALPHA-C, a burst-lossy stretch (the S1 is genuinely lost
+and retransmitted) that pushes it into ALPHA-M, and the drain back to
+BASE — with every ``adapt-switch`` decision on the timeline.
 """
 
 from __future__ import annotations
@@ -38,6 +44,10 @@ CANONICAL_EXCHANGES: dict[str, tuple[Mode, ReliabilityMode, int]] = {
     "alpha-c": (Mode.CUMULATIVE, ReliabilityMode.UNRELIABLE, 4),
     "alpha-m": (Mode.MERKLE, ReliabilityMode.RELIABLE, 4),
 }
+
+#: The scripted controller replay (separate from the fixed-mode four:
+#: its mode changes mid-run by design).
+ADAPTIVE_EXCHANGE = "adaptive"
 
 
 class CanonicalChannel:
@@ -113,12 +123,14 @@ def run_canonical(
     trace timeline reads like a packet capture of the two-hop path
     signer → relay → verifier.
     """
+    if name == ADAPTIVE_EXCHANGE:
+        return run_adaptive_canonical(obs, hop_delay_s=hop_delay_s, seed=seed)
     try:
         mode, reliability, count = CANONICAL_EXCHANGES[name]
     except KeyError:
         raise ValueError(
-            f"unknown canonical exchange {name!r}; "
-            f"pick one of {sorted(CANONICAL_EXCHANGES)}"
+            f"unknown canonical exchange {name!r}; pick one of "
+            f"{sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE])}"
         ) from None
     if obs is None:
         obs = Observability()
@@ -152,4 +164,107 @@ def run_canonical(
     delivered = channel.verifier.drain_delivered()
     assert [m.message for m in delivered] == messages
     assert channel.signer.idle
+    return obs
+
+
+def run_adaptive_canonical(
+    obs: Observability | None = None,
+    hop_delay_s: float = 0.005,
+    seed: int | str = 0,
+) -> Observability:
+    """Scripted controller arc: BASE → ALPHA-C → ALPHA-M → BASE.
+
+    Four acts on one association: a quiet single-message exchange, a
+    backlog that makes the controller batch, a bursty stretch where the
+    S1 is genuinely lost twice (the resulting retransmissions feed the
+    loss estimate) pushing the channel into Merkle mode, and the drain
+    back to BASE. Deterministic, so the conformance suite asserts the
+    decision sequence and ``python -m repro trace adaptive`` prints it.
+    """
+    from repro.core.adaptive import AdaptiveConfig, AdaptiveController
+
+    if obs is None:
+        obs = Observability()
+    channel = CanonicalChannel(
+        Mode.BASE, ReliabilityMode.UNRELIABLE, 1, obs, seed=seed
+    )
+    controller = AdaptiveController(
+        channel.signer,
+        AdaptiveConfig(
+            decision_interval_s=0.001,
+            warmup_intervals=0,
+            ewma_alpha=1.0,  # the estimate is the last interval's ratio
+            switch_cooldown_s=0.0,
+            queue_enter=4,
+            batch_max=8,
+        ),
+        obs=obs,
+        node="signer",
+    )
+    h = channel.hash_size
+    delivered = []
+
+    def run_legs(s1: bytes, t: float) -> float:
+        """One exchange's remaining legs: relay, A1, all the S2s."""
+        assert channel.relay.handle(s1, "signer", "verifier", t).forward
+        t += hop_delay_s
+        a1 = channel.verifier.handle_s1(decode_packet(s1, h), t)
+        assert a1 is not None
+        t += hop_delay_s
+        assert channel.relay.handle(a1, "verifier", "signer", t).forward
+        t += hop_delay_s
+        for s2 in channel.signer.handle_a1(decode_packet(a1, h), t):
+            t += hop_delay_s
+            assert channel.relay.handle(s2, "signer", "verifier", t).forward
+            t += hop_delay_s
+            channel.verifier.handle_s2(decode_packet(s2, h), t)
+        delivered.extend(channel.verifier.drain_delivered())
+        return t + hop_delay_s
+
+    messages = [b"adaptive-%d" % i for i in range(25)]
+    # Act 1 — quiet link, one message: the controller leaves BASE alone.
+    t = 0.0
+    channel.signer.submit(messages[0])
+    controller.poll(t)
+    s1 = channel.signer.poll(t)[0]
+    t = run_legs(s1, t + hop_delay_s)
+
+    # Act 2 — a backlog builds: switch to ALPHA-C, batch to the queue.
+    for message in messages[1:9]:
+        channel.signer.submit(message)
+    t += 0.01
+    controller.poll(t)
+    assert channel.signer.config.mode is Mode.CUMULATIVE
+    s1 = channel.signer.poll(t)[0]
+    t = run_legs(s1, t + hop_delay_s)
+
+    # Act 3 — the link turns bursty: the next S1 is lost twice on the
+    # wire and only the third copy arrives. Still ALPHA-C — the
+    # controller cannot know before the retransmissions happen.
+    for message in messages[9:17]:
+        channel.signer.submit(message)
+    channel.signer.poll(t)  # this S1 copy is lost
+    t += 0.30
+    channel.signer.poll(t)  # first retransmission: lost as well
+    t += 0.70
+    s1 = channel.signer.poll(t)[0]  # second retransmission gets through
+    t = run_legs(s1, t + hop_delay_s)
+
+    # Act 4 — the retransmit ratio is now visible: the next backlog goes
+    # out in ALPHA-M, whose S1 is one root however large the batch.
+    for message in messages[17:25]:
+        channel.signer.submit(message)
+    t += 0.01
+    controller.poll(t)
+    assert channel.signer.config.mode is Mode.MERKLE
+    s1 = channel.signer.poll(t)[0]
+    t = run_legs(s1, t + hop_delay_s)
+
+    # Coda — burst over, queue drained: back to BASE.
+    t += 0.01
+    controller.poll(t)
+    assert channel.signer.config.mode is Mode.BASE
+    assert [m.message for m in delivered] == messages
+    assert channel.signer.idle
+    assert [d.kind for d in controller.decisions].count("switch") == 3
     return obs

@@ -55,6 +55,9 @@ class EventKind(enum.Enum):
     RELAY_DROP = "relay-drop"
     RELAY_EVICT = "relay-evict"
     RELAY_TOMBSTONE = "relay-tombstone"
+    # Adaptation (PROTOCOL.md §10): controller decisions
+    ADAPT_SWITCH = "adapt-switch"
+    ADAPT_TUNE = "adapt-tune"
     # Wire-level pathology
     PARSE_DROP = "parse-drop"
     LINK_LOSS = "link-loss"

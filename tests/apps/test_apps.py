@@ -191,7 +191,7 @@ class TestRateEnforcement:
         a = HipHost(net.nodes["s"], seed=31)
         b = HipHost(net.nodes["v"], seed=32)
         enforcer = Middlebox(net.nodes["r1"], enforce_rate_limits=True)
-        passive = Middlebox(net.nodes["r2"])
+        Middlebox(net.nodes["r2"])
         a.associate("v")
         net.simulator.run(until=1.0)
         a.signal("v", SignalingMessage(RATE_LIMIT, {"bps": str(limit_bps)}))

@@ -13,11 +13,9 @@ from repro.attacks import (
 from repro.attacks.reformatting import demonstrate
 from repro.core.adapter import EndpointAdapter, RelayAdapter
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
-from repro.core.modes import Mode, ReliabilityMode
+from repro.core.modes import Mode
 from repro.core.relay import RelayConfig
-from repro.crypto.hashes import get_hash
 from repro.netsim import Network
-from repro.netsim.link import LinkConfig
 
 
 def protected_path(hops=4, config=None, relay_config=None, seed=0):
@@ -72,7 +70,7 @@ class TestInsiderTampering:
         cfg = EndpointConfig(chain_length=512)
         s = EndpointAdapter(AlphaEndpoint("s", cfg, seed="8s"), net.nodes["s"])
         v = EndpointAdapter(AlphaEndpoint("v", cfg, seed="8v"), net.nodes["v"])
-        r1 = RelayAdapter(net.nodes["r1"])
+        RelayAdapter(net.nodes["r1"])
         r3 = RelayAdapter(net.nodes["r3"])
         tamperer = TamperingRelay(net.nodes["r2"])
         s.connect("v")

@@ -6,7 +6,7 @@ import math
 import pytest
 
 from repro.core import analysis
-from repro.core.merkle import MerkleTree, path_overhead_bytes
+from repro.core.merkle import MerkleTree
 from repro.devices import get_profile
 
 

@@ -10,7 +10,7 @@ from repro.core.bootstrap import (
     validate_handshake,
 )
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
-from repro.core.exceptions import AlphaError, AuthenticationError, ProtocolError
+from repro.core.exceptions import AuthenticationError, ProtocolError
 from repro.core.modes import Mode, ReliabilityMode
 from repro.core.relay import RelayEngine
 from repro.core.signer import ChannelConfig

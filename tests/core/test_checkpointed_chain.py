@@ -86,6 +86,31 @@ class TestMemoryVsCompute:
         # is consumed downward.
         assert len(chain._checkpoints) < initial_checkpoints
 
+    def test_pruned_index_raises_index_error(self, sha1, rng):
+        # Regression: asking for an element whose checkpoint was pruned
+        # (the cursor walked below it, so the value can never be needed
+        # by the protocol again) used to leak a bare KeyError from the
+        # checkpoint dict. It must be a clear IndexError instead.
+        n, k = 256, 16
+        chain = CheckpointedHashChain(sha1, rng.random_bytes(20), n,
+                                      checkpoint_interval=k)
+        while chain.remaining > 2 * k:
+            chain.next_exchange()
+        pruned_top = max(chain._checkpoints) + 1
+        assert pruned_top <= n
+        # Force a segment rebuild above the pruned horizon. Pick an
+        # index that is neither a surviving checkpoint nor inside the
+        # currently cached segment.
+        target = ((pruned_top // k) + 1) * k + 1
+        assert target < n
+        with pytest.raises(IndexError, match="pruned horizon"):
+            chain.element(target)
+        # In-range but pruned is IndexError; out-of-range stays IndexError
+        # too, and valid positions still work.
+        assert chain.element(chain._cursor - 1)
+        with pytest.raises(IndexError):
+            chain.element(n + 1)
+
     def test_validation(self, sha1, rng):
         with pytest.raises(ValueError):
             CheckpointedHashChain(sha1, rng.random_bytes(20), 7)

@@ -143,7 +143,7 @@ class TestTopologies:
 
     def test_two_concurrent_associations_share_a_relay(self):
         net = Network.chain(2, names=["a", "m", "b"])
-        c_node = net.add_node("c")
+        net.add_node("c")
         net.connect("c", "m")
         net.compute_routes()
         a = EndpointAdapter(AlphaEndpoint("a", EndpointConfig(chain_length=256), seed=1), net.nodes["a"])

@@ -1,6 +1,5 @@
 """Endpoint and session edge cases: eviction, multi-peer, MMO end-to-end."""
 
-import pytest
 
 from repro.core.adapter import EndpointAdapter, RelayAdapter
 from repro.core.bootstrap import establish_static
@@ -16,7 +15,6 @@ from tests.core.test_sessions import make_channel
 
 class TestVerifierEviction:
     def test_oldest_exchange_evicted(self, sha1, rng):
-        from repro.core.verifier import VerifierSession
 
         signer, verifier = make_channel(sha1, rng, chain_length=256)
         verifier.max_buffered_exchanges = 2

@@ -206,10 +206,9 @@ class TestResyncEdges:
         assert verifier.verify(chain.element(63))  # chain still advances
 
     def test_prune_keeps_horizon_entry_and_drops_stale_ones(self, sha1, rng):
-        # With window 2 the prune fires once the cache holds more than
-        # 4 entries. Three gap-2 commits get there: 64->62 caches
-        # {63, 64}, ->60 caches {61, 62}, ->58 caches {59, 60} and
-        # triggers the prune with horizon 58 + 2 = 60.
+        # The prune runs on every commit. Three gap-2 commits: 64->62
+        # caches {63, 64}, ->60 caches {61, 62} (dropping the now-dead
+        # 63, 64), ->58 caches {59, 60} with horizon 58 + 2 = 60.
         chain = HashChain(sha1, rng.random_bytes(20), 64)
         verifier = ChainVerifier(sha1, chain.anchor, resync_window=2)
         for index in (62, 60, 58):
@@ -232,6 +231,30 @@ class TestResyncEdges:
         assert verifier.trusted.index not in verifier._derived
         assert verifier.trusted == chain.element(58)
         assert verifier.verify(chain.element(57))  # gap 1 still works
+
+    def test_cache_bounded_on_long_in_order_run(self, sha1, rng):
+        # Regression: the prune used to fire only once the cache grew
+        # past 2 * resync_window, so a long-lived association whose
+        # commits kept the cache just under the trigger accumulated dead
+        # entries at or below the trusted index indefinitely. Pruning on
+        # every commit makes the cache size a function of the window
+        # alone: walk a long chain strictly in order with occasional
+        # gaps and the cache never exceeds the window.
+        chain = HashChain(sha1, rng.random_bytes(20), 512)
+        window = 8
+        verifier = ChainVerifier(sha1, chain.anchor, resync_window=window)
+        index = 64 * 8
+        step = 1
+        while index > step:
+            index -= step
+            assert verifier.verify(chain.element(index))
+            assert len(verifier._derived) <= window, index
+            # Every cached entry is still claimable: strictly above the
+            # trusted index, at or below the horizon.
+            for cached in verifier._derived:
+                assert verifier.trusted.index < cached
+                assert cached <= verifier.trusted.index + window
+            step = 1 + (index % 3)  # mix gap-1/2/3 commits
 
     def test_consume_derived_single_use_across_prune(self, sha1, rng):
         chain = HashChain(sha1, rng.random_bytes(20), 64)

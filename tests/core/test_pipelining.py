@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.adapter import EndpointAdapter, RelayAdapter
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
-from repro.core.modes import Mode, ReliabilityMode
+from repro.core.modes import Mode
 from repro.core.packets import decode_packet
 from repro.core.signer import ChannelConfig
 from repro.netsim import Network

@@ -5,7 +5,6 @@ chains (a new association id and a new handshake) before the old ones
 run dry, without losing queued traffic.
 """
 
-import pytest
 
 from repro.core.adapter import EndpointAdapter, RelayAdapter
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig

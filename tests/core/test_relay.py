@@ -407,3 +407,70 @@ class TestEvictionTombstones:
         channel = harness.relay._associations[ASSOC].forward_channel
         assert len(channel.evicted) == 4
         assert sorted(channel.evicted) == [4, 5, 6, 7]  # newest kept
+
+
+class TestEvictionOrder:
+    """Regression: capacity eviction is least-recently-seen, not lowest seq.
+
+    Under pipelining (or S1 retransmission) the lowest sequence number
+    can be the exchange the signer is actively driving — evicting it
+    would shed exactly the state the channel needs next. Both capacity
+    paths (byte cap and entry cap) must pick the exchange with the
+    stalest ``last_seen``, falling back to the sequence number only as
+    a deterministic tie-break.
+    """
+
+    def start_exchange(self, harness, message, now):
+        harness.signer.submit(message)
+        s1_raw = harness.signer.poll(now)[0]
+        assert harness.relay.handle(s1_raw, "s", "v", now).forward
+        a1_raw = harness.verifier.handle_s1(decode_packet(s1_raw, H), now)
+        harness.signer.handle_a1(decode_packet(a1_raw, H), now)
+        return s1_raw
+
+    def test_byte_cap_evicts_least_recently_seen(self, sha1, rng):
+        # 50-byte ceiling holds two base-mode exchanges (20 bytes each).
+        relay_config = RelayConfig(
+            exchange_ttl_s=None, max_buffered_bytes=50, require_a1_for_s2=False
+        )
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        s1_first = self.start_exchange(harness, b"first", now=0.0)
+        self.start_exchange(harness, b"second", now=1.0)
+        # The signer retransmits the *first* exchange's S1: lowest seq,
+        # freshest last_seen.
+        assert harness.relay.handle(s1_first, "s", "v", 5.0).forward
+        self.start_exchange(harness, b"third", now=6.0)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        # Seq 2 (last seen at 1.0) is the eviction victim, not seq 1.
+        assert sorted(channel.exchanges) == [1, 3]
+        assert sorted(channel.evicted) == [2]
+        assert harness.relay.resilience.evictions_capacity == 1
+
+    def test_entry_cap_evicts_least_recently_seen(self, sha1, rng):
+        relay_config = RelayConfig(
+            exchange_ttl_s=None,
+            max_buffered_bytes=None,
+            max_buffered_exchanges=2,
+            require_a1_for_s2=False,
+        )
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        s1_first = self.start_exchange(harness, b"first", now=0.0)
+        self.start_exchange(harness, b"second", now=1.0)
+        assert harness.relay.handle(s1_first, "s", "v", 5.0).forward
+        self.start_exchange(harness, b"third", now=6.0)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert sorted(channel.exchanges) == [1, 3]
+        assert sorted(channel.evicted) == [2]
+
+    def test_untouched_buffers_still_evict_oldest_first(self, sha1, rng):
+        # With no retransmissions last_seen order equals seq order, so
+        # the pre-existing oldest-first behaviour is unchanged.
+        relay_config = RelayConfig(
+            exchange_ttl_s=None, max_buffered_bytes=50, require_a1_for_s2=False
+        )
+        harness = Harness(sha1, rng, relay_config=relay_config)
+        for i in range(4):
+            self.start_exchange(harness, b"m%d" % i, now=float(i))
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert sorted(channel.exchanges) == [3, 4]
+        assert sorted(channel.evicted) == [1, 2]

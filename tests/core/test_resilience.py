@@ -380,6 +380,47 @@ class TestStatsPlumbing:
         assert stats.retransmits >= 1
         assert stats.exchanges_failed == 1
 
+    def test_aggregate_builds_fresh_block_without_touching_sources(self):
+        left = ResilienceStats(retransmits=2, dead_peers=1)
+        right = ResilienceStats(retransmits=3, evictions_ttl=4)
+        total = ResilienceStats.aggregate(left, right)
+        assert total.retransmits == 5
+        assert total.dead_peers == 1
+        assert total.evictions_ttl == 4
+        # Sources untouched, so aggregation is repeatable.
+        assert left.retransmits == 2 and right.retransmits == 3
+        assert ResilienceStats.aggregate(left, right).as_dict() == total.as_dict()
+        # copy() is independent of the original.
+        clone = left.copy()
+        clone.retransmits += 10
+        assert left.retransmits == 2
+
+    def test_resilience_stats_snapshot_idempotent(self):
+        # Regression: aggregating per-signer counters into a long-lived
+        # block on every snapshot double-counts them; the snapshot must
+        # build a fresh block each call so consecutive calls agree.
+        config = EndpointConfig(
+            chain_length=64,
+            retransmit_timeout_s=0.5,
+            max_retries=1,
+            adaptive_rto=False,
+            dead_peer_threshold=0,
+        )
+        a = AlphaEndpoint("a", config, seed=1)
+        b = AlphaEndpoint("b", config, seed=2)
+        establish(a, b)
+        a.send("b", b"x")
+        for now in (1.0, 2.0, 3.0):
+            a.poll(now)
+        first = a.resilience_stats().as_dict()
+        second = a.resilience_stats().as_dict()
+        third = a.resilience_stats().as_dict()
+        assert first == second == third
+        assert first["retransmits"] >= 1  # the scenario produced counts
+        assert first["exchanges_failed"] == 1
+        # The endpoint's own block was not inflated by the snapshots.
+        assert a.stats.retransmits == 0
+
     def test_corrupt_packet_counted_not_raised(self):
         config = EndpointConfig(chain_length=64)
         a = AlphaEndpoint("a", config, seed=1)

@@ -12,11 +12,10 @@ from repro.core.hashchain import (
     ChainVerifier,
     HashChain,
 )
-from repro.core.modes import Mode, ReliabilityMode, RetransmitPolicy
-from repro.core.packets import A1Packet, A2Packet, S1Packet, S2Packet, decode_packet
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import A1Packet, S1Packet, decode_packet
 from repro.core.signer import ChannelConfig, SignerSession
 from repro.core.verifier import VerifierSession
-from repro.crypto.drbg import DRBG
 
 ASSOC = 77
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.devices import get_profile, host_calibrated_profile, PROFILES
-from repro.devices.energy import EnergyModel, MESH_ENERGY, SENSOR_ENERGY
+from repro.devices.energy import MESH_ENERGY, SENSOR_ENERGY
 
 MS = 1e-3
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.drbg import DRBG
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.network import Network
 from repro.netsim.packet import HEADER_BYTES, Frame
