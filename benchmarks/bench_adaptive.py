@@ -162,8 +162,14 @@ def smoke():
     from benchmarks.conftest import scaled_down
 
     with scaled_down(sys.modules[__name__], N_MESSAGES=8):
-        delivered, _, goodput, decisions = run_channel(
+        delivered, elapsed, goodput, decisions = run_channel(
             0.0, adaptive=True, seed=5
         )
     assert delivered == 8 and goodput > 0
     assert any(d.mode is not Mode.BASE for d in decisions)
+    return {
+        "delivered": delivered,
+        "elapsed_s": round(elapsed, 6),
+        "goodput_bps": round(goodput, 3),
+        "decisions": len(decisions),
+    }

@@ -24,7 +24,10 @@ MESSAGE_SIZE = 512
 LOSS_RATES = (0.0, 0.05, 0.1)
 
 
-def run_alpha(mode: Mode, reliability: ReliabilityMode, loss: float, seed=0):
+def run_alpha(
+    mode: Mode, reliability: ReliabilityMode, loss: float, seed=0,
+    observe=False, out=None,
+):
     link = LinkConfig(latency_s=0.003, loss_rate=loss)
     net = Network.chain(HOPS, config=link, seed=seed)
     cfg = EndpointConfig(
@@ -34,6 +37,7 @@ def run_alpha(mode: Mode, reliability: ReliabilityMode, loss: float, seed=0):
         chain_length=2048,
         retransmit_timeout_s=0.15,
         max_retries=40,
+        observe=observe,
     )
     s = EndpointAdapter(AlphaEndpoint("s", cfg, seed=f"{seed}s"), net.nodes["s"])
     v = EndpointAdapter(AlphaEndpoint("v", cfg, seed=f"{seed}v"), net.nodes["v"])
@@ -56,6 +60,10 @@ def run_alpha(mode: Mode, reliability: ReliabilityMode, loss: float, seed=0):
     elapsed = net.simulator.now - start
     delivered = len(v.received)
     goodput = delivered * MESSAGE_SIZE * 8 / elapsed if elapsed > 0 else 0.0
+    if out is not None:
+        # Expose the adapters for callers that want the telemetry side
+        # (the smoke's regression snapshot reads the sender's ledger).
+        out["sender"], out["receiver"] = s, v
     return delivered, elapsed, goodput
 
 
@@ -130,15 +138,31 @@ def test_e2e_mode_comparison(emit, benchmark):
     )
 
 def smoke():
-    """Tier-1 smoke: one lossless batch end to end, both stacks."""
+    """Tier-1 smoke: one lossless batch end to end, both stacks.
+
+    Returns the regression-snapshot metrics (simulated time, so they
+    are deterministic for the fixed seed): goodput, elapsed, and the
+    sender ledger's delivery-latency quantiles.
+    """
     import sys
 
     from benchmarks.conftest import scaled_down
 
     with scaled_down(sys.modules[__name__], N_MESSAGES=8):
-        delivered, _, goodput = run_alpha(
-            Mode.BASE, ReliabilityMode.RELIABLE, loss=0.0, seed=9
+        out = {}
+        delivered, elapsed, goodput = run_alpha(
+            Mode.BASE, ReliabilityMode.RELIABLE, loss=0.0, seed=9,
+            observe=True, out=out,
         )
         assert delivered == 8 and goodput > 0
         got, _, _ = run_unprotected(loss=0.0, seed=9)
         assert got == 8
+    link = out["sender"].endpoint.links.get("v")
+    assert link is not None and link.exchanges_completed == 8
+    return {
+        "delivered": delivered,
+        "elapsed_s": round(elapsed, 6),
+        "goodput_bps": round(goodput, 3),
+        "latency_p50_s": round(link.latency.quantile(0.5), 6),
+        "latency_p99_s": round(link.latency.quantile(0.99), 6),
+    }

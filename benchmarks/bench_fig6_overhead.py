@@ -101,4 +101,8 @@ def test_figure6_regeneration(emit, benchmark):
 
 def smoke():
     """Tier-1 smoke: one tiny wire-ratio measurement (overhead > 0)."""
-    assert measured_wire_ratio(2, chunk=128) > 1.0
+    ratio = measured_wire_ratio(2, chunk=128)
+    assert ratio > 1.0
+    # Wire bytes per payload byte at batch=2, 128 B chunks: the
+    # bytes/packet column of the regression snapshot.
+    return {"wire_ratio_b2_c128": round(ratio, 6)}

@@ -152,7 +152,12 @@ def smoke():
     from benchmarks.conftest import scaled_down
 
     with scaled_down(sys.modules[__name__], N_MESSAGES=8):
-        delivered, _, goodput, _ = run_alpha(
+        delivered, elapsed, goodput, _ = run_alpha(
             Mode.CUMULATIVE, LinkConfig(latency_s=0.003), seed=5
         )
     assert delivered == 8 and goodput > 0
+    return {
+        "delivered": delivered,
+        "elapsed_s": round(elapsed, 6),
+        "goodput_bps": round(goodput, 3),
+    }

@@ -137,3 +137,9 @@ def smoke():
         out = measure_mode(Mode.BASE, 1)
     assert out["signer"]["mac_per_msg"] > 0
     assert out["verifier"]["fixed_per_msg"] > 0
+    return {
+        "signer_mac_per_msg": out["signer"]["mac_per_msg"],
+        "signer_fixed_per_msg": out["signer"]["fixed_per_msg"],
+        "verifier_mac_per_msg": out["verifier"]["mac_per_msg"],
+        "verifier_fixed_per_msg": out["verifier"]["fixed_per_msg"],
+    }

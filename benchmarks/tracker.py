@@ -1,0 +1,71 @@
+"""Bench regression snapshots: ``results/bench/BENCH_<name>.json``.
+
+Every tier-1 run of a benchmark's ``smoke()`` (see
+``tests/benchmarks/test_bench_smoke.py``) records a snapshot here: the
+metrics the smoke returned (simulated-time throughput, latency
+quantiles, bytes/packet — deterministic, so a change means the *code*
+changed) plus the wall-clock seconds the smoke took (informational:
+host-dependent and noisy, excluded from regression comparison).
+
+Each file keeps exactly two generations::
+
+    {"schema": 1, "bench": "bench_e2e_modes",
+     "current":  {"wall_s": ..., "goodput_bps": ..., ...},
+     "previous": {...} | null}
+
+``scripts/bench_track.py`` diffs ``current`` against ``previous`` and
+fails on regressions beyond its tolerance; ``scripts/check.sh --bench``
+wires that into the check pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR
+
+SCHEMA = 1
+BENCH_DIR = RESULTS_DIR / "bench"
+
+
+def record(
+    name: str,
+    metrics: dict | None = None,
+    wall_s: float | None = None,
+) -> dict:
+    """Rotate ``BENCH_<name>.json``: current → previous, new → current.
+
+    ``metrics`` is the smoke's returned metric dict (may be None — the
+    snapshot then only carries ``wall_s``, still enough to spot a smoke
+    that suddenly takes 10x longer). Returns the written payload.
+    """
+    BENCH_DIR.mkdir(parents=True, exist_ok=True)
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    previous = None
+    if path.exists():
+        try:
+            stale = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(stale, dict) and stale.get("schema") == SCHEMA:
+                previous = stale.get("current")
+        except (OSError, ValueError):
+            previous = None  # corrupt snapshot: start a fresh history
+    current: dict = {}
+    if wall_s is not None:
+        current["wall_s"] = round(wall_s, 6)
+    if metrics:
+        for key, value in sorted(metrics.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"bench {name!r} metric {key!r} must be numeric,"
+                    f" got {type(value).__name__}"
+                )
+            current[key] = value
+    payload = {
+        "schema": SCHEMA,
+        "bench": name,
+        "current": current,
+        "previous": previous,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return payload

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff bench regression snapshots and fail on real regressions.
+
+Reads every ``results/bench/BENCH_<name>.json`` written by the tier-1
+bench smokes (``benchmarks/tracker.py``), compares ``current`` against
+``previous`` metric by metric, and exits non-zero when any metric moved
+in its bad direction by more than the tolerance (default 15%).
+
+Metric direction is inferred from the key name: goodput/throughput/
+delivered-style keys must not fall, latency/elapsed/ratio/per-message
+keys must not rise. ``wall_s`` is host wall-clock — noisy by nature —
+so it is reported but never fails the run unless ``--include-wall`` is
+given. Keys matching neither family are informational only.
+
+Usage::
+
+    python scripts/bench_track.py [--tolerance 0.15] [--include-wall]
+
+Wired into ``scripts/check.sh`` as the opt-in ``--bench`` stage: run
+the tier-1 suite once to lay down snapshots, change code, run again,
+then let this script flag what moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "results" / "bench"
+SCHEMA = 1
+
+#: Key-name fragments marking a metric where bigger is better.
+HIGHER_BETTER = ("goodput", "throughput", "delivered", "bps", "ops_per_s")
+#: Key-name fragments marking a metric where smaller is better.
+LOWER_BETTER = ("latency", "elapsed", "ratio", "per_msg", "bytes", "wall")
+
+
+def direction(key: str) -> int:
+    """+1 bigger-is-better, -1 smaller-is-better, 0 informational."""
+    lower = key.lower()
+    if any(fragment in lower for fragment in HIGHER_BETTER):
+        return 1
+    if any(fragment in lower for fragment in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def compare(
+    bench: str,
+    previous: dict,
+    current: dict,
+    tolerance: float,
+    include_wall: bool,
+) -> list[str]:
+    """Regression lines for one snapshot (empty = clean)."""
+    regressions = []
+    for key in sorted(set(previous) & set(current)):
+        before, after = previous[key], current[key]
+        if not all(isinstance(v, (int, float)) for v in (before, after)):
+            continue
+        if key == "wall_s" and not include_wall:
+            continue
+        sign = direction(key)
+        if sign == 0:
+            continue
+        if before == 0:
+            # No meaningful relative change from a zero baseline; a
+            # higher-better metric collapsing TO zero is caught below.
+            if sign > 0 and after < before:
+                regressions.append(f"{bench}: {key} fell {before} -> {after}")
+            continue
+        change = (after - before) / abs(before)
+        regressed = -change * sign > tolerance
+        if regressed:
+            verb = "fell" if sign > 0 else "rose"
+            regressions.append(
+                f"{bench}: {key} {verb} {change:+.1%}"
+                f" ({before:g} -> {after:g}, tolerance {tolerance:.0%})"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed relative regression before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--include-wall", action="store_true",
+        help="also fail on wall-clock regressions (noisy; off by default)",
+    )
+    parser.add_argument(
+        "--dir", type=pathlib.Path, default=BENCH_DIR,
+        help="snapshot directory (default results/bench)",
+    )
+    args = parser.parse_args(argv)
+    snapshots = sorted(args.dir.glob("BENCH_*.json"))
+    if not snapshots:
+        print(f"no bench snapshots under {args.dir} — run the tier-1 "
+              "suite first (it writes one per bench smoke)")
+        return 0
+    regressions: list[str] = []
+    compared = skipped = 0
+    for path in snapshots:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"warning: unreadable snapshot {path.name}: {exc}")
+            skipped += 1
+            continue
+        if payload.get("schema") != SCHEMA:
+            print(f"warning: {path.name} has schema {payload.get('schema')!r},"
+                  f" expected {SCHEMA}")
+            skipped += 1
+            continue
+        previous, current = payload.get("previous"), payload.get("current")
+        if not previous or not current:
+            skipped += 1  # first run: nothing to diff against yet
+            continue
+        compared += 1
+        regressions.extend(
+            compare(payload["bench"], previous, current,
+                    args.tolerance, args.include_wall)
+        )
+    print(f"bench_track: {compared} compared, {skipped} without history,"
+          f" {len(regressions)} regression(s)")
+    for line in regressions:
+        print(f"  REGRESSION {line}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

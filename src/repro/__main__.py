@@ -10,6 +10,11 @@ writing code:
   layer enabled and print its event timeline + summary (PROTOCOL.md §9).
 - ``adapt``    — run the adaptive mode controller (PROTOCOL.md §10) on
   a bursty 3-hop path and print its switch/tune decisions.
+- ``report``   — run a mixed-loss scenario (congestion + corruption on
+  a direct link) and print the link-health report: per-link ledgers
+  with the loss-cause split (PROTOCOL.md §11).
+- ``export``   — same scenario, exported as Prometheus text or JSONL
+  (``--format``, ``-o FILE``).
 - ``selftest`` — fast internal consistency check (crypto vectors, one
   protocol round trip); exits non-zero on failure.
 """
@@ -164,21 +169,99 @@ def _cmd_selftest() -> int:
     return 1 if failures else 0
 
 
-#: Canonical exchange names (mirrors repro.obs.canonical, kept literal
-#: so argument parsing does not import the protocol stack).
-_TRACE_EXCHANGES = ("adaptive", "alpha-c", "alpha-m", "basic", "reliable")
-
-
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.canonical import run_canonical
+    from repro.obs.canonical import (
+        ADAPTIVE_EXCHANGE,
+        CANONICAL_EXCHANGES,
+        run_canonical,
+    )
     from repro.obs.format import format_summary, format_timeline
 
-    obs = run_canonical(args.exchange, seed=args.seed)
+    try:
+        obs = run_canonical(args.exchange, seed=args.seed)
+    except ValueError:
+        available = ", ".join(sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE]))
+        print(
+            f"unknown exchange {args.exchange!r}, available: {available}",
+            file=sys.stderr,
+        )
+        return 2
     print(f"# canonical exchange: {args.exchange}")
     print(format_timeline(obs.tracer.events))
     if not args.no_summary:
         print()
         print(format_summary(obs))
+    return 0
+
+
+def _mixed_loss_run(seed: int | str = 11):
+    """Drive the telemetry scenario behind ``report`` and ``export``.
+
+    A direct link (no verifying relay in the way — relays drop damaged
+    packets before they can earn a nack) carrying both congestion-style
+    loss and corruption, between adaptive reliable endpoints sharing one
+    observability context. Returns ``(obs, sender_endpoint)`` — the
+    sender's :class:`~repro.obs.linkhealth.HealthLedger` holds the
+    per-link story the report/export commands render.
+    """
+    from repro.core.adapter import EndpointAdapter
+    from repro.core.adaptive import AdaptiveConfig
+    from repro.core.endpoint import AlphaEndpoint, EndpointConfig
+    from repro.core.modes import ReliabilityMode
+    from repro.netsim import Network
+    from repro.netsim.link import LinkConfig
+    from repro.obs import Observability
+
+    obs = Observability()
+    link = LinkConfig(latency_s=0.003, loss_rate=0.04, corrupt_rate=0.04)
+    net = Network.chain(1, config=link, seed=seed, obs=obs)
+    config = EndpointConfig(
+        reliability=ReliabilityMode.RELIABLE,
+        retransmit_timeout_s=0.15,
+        max_retries=100,
+        dead_peer_threshold=0,
+        adaptive=True,
+        adaptive_config=AdaptiveConfig(
+            decision_interval_s=0.25, warmup_intervals=1, switch_cooldown_s=1.0
+        ),
+    )
+    s = EndpointAdapter(
+        AlphaEndpoint("s", config, seed="report-s", obs=obs), net.nodes["s"]
+    )
+    v = EndpointAdapter(
+        AlphaEndpoint("v", config, seed="report-v", obs=obs), net.nodes["v"]
+    )
+    s.connect("v")
+    net.simulator.run(until=2.0)
+    for i in range(24):
+        s.send("v", b"telemetry-%02d" % i + b"." * 48)
+    net.simulator.run(until=90.0)
+    del v  # the receive side only exists to drive the exchange
+    return obs, s.endpoint
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_report
+
+    obs, endpoint = _mixed_loss_run(seed=args.seed)
+    print(render_report(obs.registry, endpoint.links, obs.tracer), end="")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import to_jsonl, to_prometheus
+
+    obs, endpoint = _mixed_loss_run(seed=args.seed)
+    if args.format == "prom":
+        rendered = to_prometheus(obs.registry, endpoint.links)
+    else:
+        rendered = to_jsonl(obs.registry, endpoint.links, obs.tracer)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -203,21 +286,37 @@ def main(argv: list[str] | None = None) -> int:
         "trace",
         help="replay a canonical exchange and print its event timeline",
     )
-    trace.add_argument(
-        "exchange",
-        nargs="?",
-        default="reliable",
-        choices=_TRACE_EXCHANGES,
-    )
+    # No argparse choices: unknown names are handled in _cmd_trace with a
+    # proper "unknown exchange, available: ..." message and exit code 2,
+    # without hard-coding the canonical list here.
+    trace.add_argument("exchange", nargs="?", default="reliable")
     trace.add_argument("--seed", default="0", help="replay RNG seed")
     trace.add_argument(
         "--no-summary",
         action="store_true",
         help="print only the timeline, not the counts/metrics summary",
     )
+    report = sub.add_parser(
+        "report",
+        help="run the mixed-loss scenario and print the link-health report",
+    )
+    report.add_argument("--seed", default="11", help="scenario RNG seed")
+    export = sub.add_parser(
+        "export",
+        help="run the mixed-loss scenario and export its telemetry",
+    )
+    export.add_argument(
+        "-f", "--format", choices=("prom", "jsonl"), default="prom"
+    )
+    export.add_argument("-o", "--output", default="", help="write to FILE")
+    export.add_argument("--seed", default="11", help="scenario RNG seed")
     args = parser.parse_args(argv)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "export":
+        return _cmd_export(args)
     return _COMMANDS[args.command]()
 
 

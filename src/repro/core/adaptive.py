@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from repro.core.modes import Mode
 from repro.core.signer import ChannelConfig, SignerSession
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs.linkhealth import LinkHealth
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,15 @@ class AdaptiveConfig:
     #: BASE becomes marginal; above it the controller demands twice the
     #: backlog before batching (large messages amortize their own S1).
     large_message_bytes: int = 1024
+    #: Fraction of classified loss at which one cause counts as
+    #: *dominant* (PROTOCOL.md §11). Only consulted once the link
+    #: ledger's split is backed by enough loss events.
+    cause_split_threshold: float = 0.6
+    #: Batch ceiling while corruption dominates the loss split. A
+    #: smaller batch means each A1's pre-ack block covers fewer S2s —
+    #: tighter pre-ack spacing (paper §3.3.3), so a damaged S2 is
+    #: nacked and repaired after fewer in-flight packets.
+    corruption_batch_cap: int = 8
 
     def __post_init__(self) -> None:
         if self.decision_interval_s <= 0:
@@ -106,6 +116,10 @@ class AdaptiveConfig:
             raise ValueError("outstanding cap must be at least 1")
         if self.warmup_intervals < 0:
             raise ValueError("warmup must be non-negative")
+        if not 0.5 <= self.cause_split_threshold <= 1.0:
+            raise ValueError("cause split threshold must be in [0.5, 1]")
+        if self.corruption_batch_cap < 1:
+            raise ValueError("corruption batch cap must be positive")
 
 
 @dataclass(frozen=True)
@@ -113,7 +127,9 @@ class Decision:
     """One applied re-tuning, with the signals that justified it."""
 
     at: float
-    kind: str  # "switch" (mode changed) or "tune" (batch/pipelining)
+    #: "switch" (mode changed), "tune" (batch/pipelining), or "seed"
+    #: (initial configuration adopted from the link ledger).
+    kind: str
     mode: Mode
     batch_size: int
     max_outstanding: int
@@ -132,11 +148,16 @@ class AdaptiveController:
         config: AdaptiveConfig | None = None,
         obs: Observability | None = None,
         node: str = "",
+        link: LinkHealth | None = None,
     ) -> None:
         self.signer = signer
         self.config = config if config is not None else AdaptiveConfig()
         self._obs = obs if obs is not None else OBS_OFF
         self._node = node or "adaptive"
+        #: Cross-association link ledger: seeds the loss estimate (see
+        #: :meth:`seed_from_link`), receives each tick's estimate back,
+        #: and supplies the congestion/corruption split.
+        self.link = link
         self.decisions: list[Decision] = []
         self.loss_ewma = 0.0
         self._samples = 0
@@ -159,6 +180,10 @@ class AdaptiveController:
         sample = min(1.0, d_retrans / d_packets)
         self.loss_ewma += self.config.ewma_alpha * (sample - self.loss_ewma)
         self._samples += 1
+        if self.link is not None:
+            # The ledger carries the estimate across associations: the
+            # next association's controller seeds from it.
+            self.link.update_loss_estimate(self.loss_ewma)
 
     # -- targets (hysteresis lives here) ---------------------------------------
 
@@ -168,6 +193,19 @@ class AdaptiveController:
             # estimate drops out of the band.
             return self.loss_ewma > self.config.loss_exit
         return self.loss_ewma >= self.config.loss_enter
+
+    def _corruption_dominated(self) -> bool:
+        """True when the link ledger confidently blames corruption.
+
+        Corruption loss carries none of congestion's implications: the
+        path is not overloaded, so collapsing pipelining or growing
+        batches to shed interlock packets would only slow repair down.
+        """
+        link = self.link
+        if link is None or not link.split_confident:
+            return False
+        _, corruption = link.loss_split()
+        return corruption >= self.config.cause_split_threshold
 
     def _backlogged(self, mode: Mode, queue: int) -> bool:
         enter = self.config.queue_enter
@@ -195,13 +233,22 @@ class AdaptiveController:
         target = max(self.config.batch_min, min(self.config.batch_max, target))
         if not mode.constant_s1:
             target = min(target, self.config.s1_presig_budget)
+        if self._lossy(mode) and self._corruption_dominated():
+            # Corruption-dominated loss: tighten the pre-ack spacing.
+            # Each A1's pre-(n)ack block covers one batch, so a smaller
+            # batch localizes a damaged S2 after fewer in-flight packets
+            # (paper §3.3.3 picks the spacing from link conditions).
+            target = min(target, self.config.corruption_batch_cap)
         return target
 
     def _target_outstanding(self, mode: Mode, lossy: bool, queue: int) -> int:
         current = self.signer.config.max_outstanding
-        if lossy:
-            # Concurrent exchanges under loss mostly multiply ambiguous
-            # retransmissions; collapse to the paper's sequential scheme.
+        if lossy and not self._corruption_dominated():
+            # Concurrent exchanges under congestion loss mostly multiply
+            # ambiguous retransmissions; collapse to the paper's
+            # sequential scheme. Corruption-dominated loss keeps its
+            # pipelining — the path is not overloaded, and explicit
+            # nacks repair damage without Karn-poisoned timeouts.
             return 1
         batch = max(self._target_batch(mode, queue), 1)
         if queue >= 2 * batch and mode.batched:
@@ -209,6 +256,65 @@ class AdaptiveController:
         if queue <= self.config.queue_exit:
             return max(1, current // 2)
         return current
+
+    # -- seeding ---------------------------------------------------------------
+
+    def seed_from_link(self, now: float = 0.0) -> ChannelConfig | None:
+        """Adopt the link ledger's known state instead of starting blind.
+
+        Called once when the association is installed. The loss estimate
+        continues from the link's last known value, the warmup
+        requirement is waived (cross-association history substitutes for
+        it), and when the ledger already knows the link is lossy the
+        channel starts in the loss-protective Merkle mode — a fresh
+        association on a known-bad link must not relearn the loss rate
+        through a BASE-mode loss episode. Returns the applied config
+        when one was, ``None`` when the ledger has nothing to teach.
+        """
+        link = self.link
+        if link is None or not link.known:
+            return None
+        self.loss_ewma = link.loss_ewma
+        self._samples = max(self._samples, self.config.warmup_intervals)
+        if self.loss_ewma < self.config.loss_enter:
+            return None
+        current = self.signer.config
+        queue = self.signer.queue_depth
+        mode = Mode.MERKLE
+        batch = self._target_batch(mode, queue)
+        outstanding = self._target_outstanding(mode, True, queue)
+        applied = dataclasses.replace(
+            current, mode=mode, batch_size=batch, max_outstanding=outstanding
+        )
+        if applied == current:
+            return None
+        self.signer.reconfigure(applied)
+        self._last_switch_at = now
+        decision = Decision(
+            at=now,
+            kind="seed",
+            mode=mode,
+            batch_size=batch,
+            max_outstanding=outstanding,
+            loss=self.loss_ewma,
+            srtt=link.srtt,
+            queue=queue,
+            reason=(
+                f"ledger mode={current.mode.name.lower()}->{mode.name.lower()}"
+                f" loss={self.loss_ewma:.3f} links_seen={link.associations}"
+            ),
+        )
+        self.decisions.append(decision)
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.ADAPT_SWITCH, self.signer.assoc_id,
+                info=decision.reason,
+            )
+            self._obs.registry.counter("adaptive.seeds").inc()
+            self._obs.registry.gauge("adaptive.mode").set(int(mode))
+            self._obs.registry.gauge("adaptive.batch_size").set(batch)
+            self._obs.registry.gauge("adaptive.max_outstanding").set(outstanding)
+        return applied
 
     # -- the loop --------------------------------------------------------------
 

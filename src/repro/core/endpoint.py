@@ -50,6 +50,7 @@ from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction, OpCounter, get_hash
 from repro.crypto.signatures import SignatureScheme
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs.linkhealth import HealthLedger
 
 
 @dataclass(frozen=True)
@@ -194,6 +195,16 @@ class AlphaEndpoint:
         #: merged into a block that outlives them — snapshots stay
         #: idempotent no matter how often they are taken.
         self._drained = ResilienceStats()
+        #: Per-link health ledger (PROTOCOL.md §11). Entries outlive
+        #: associations, so re-keyed channels inherit the link's loss
+        #: history instead of relearning it. Maintained whenever the
+        #: endpoint is adaptive (the controller seeds from it) or
+        #: observed (the ledger feeds ``link.*`` metrics); otherwise it
+        #: stays empty and the engines skip their ``link`` hooks.
+        self.links = HealthLedger(
+            self.obs.registry if self.obs.enabled else None
+        )
+        self._track_links = self.config.adaptive or self.obs.enabled
 
     # -- association management ------------------------------------------------
 
@@ -284,6 +295,8 @@ class AlphaEndpoint:
             packet = decode_packet(data, self.hash_fn.digest_size)
         except PacketError:
             self.stats.corrupt_drops += 1
+            if self._track_links and src in self._by_peer:
+                self.links.link(src).on_corrupt_arrival()
             if self.obs.enabled:
                 self.obs.tracer.emit(
                     now, self.name, EventKind.PARSE_DROP, info=f"src={src}"
@@ -387,6 +400,9 @@ class AlphaEndpoint:
             self._by_peer[peer] = assoc
             self._by_id[assoc_id] = assoc
         channel_config = self.config.channel_config()
+        link = self.links.link(peer) if self._track_links else None
+        if link is not None:
+            link.on_association()
         assoc.signer = SignerSession(
             hash_fn=self.hash_fn,
             sig_chain=chains.signature,
@@ -401,6 +417,7 @@ class AlphaEndpoint:
             peer=peer,
             obs=self.obs,
             node=self.name,
+            link=link,
         )
         if self.config.adaptive:
             assoc.controller = AdaptiveController(
@@ -408,6 +425,7 @@ class AlphaEndpoint:
                 config=self.config.adaptive_config,
                 obs=self.obs,
                 node=self.name,
+                link=link,
             )
         assoc.verifier = VerifierSession(
             hash_fn=self.hash_fn,
@@ -423,6 +441,7 @@ class AlphaEndpoint:
             max_buffered_exchanges=self.config.max_buffered_exchanges,
             obs=self.obs,
             node=self.name,
+            link=link,
         )
         assoc.established = True
         if self.obs.enabled:
@@ -434,6 +453,10 @@ class AlphaEndpoint:
         for message in assoc.pending_sends:
             assoc.signer.submit(message)
         assoc.pending_sends.clear()
+        if assoc.controller is not None:
+            # Seed after the pending sends are queued, so the inherited
+            # configuration's batch size sees the real backlog.
+            assoc.controller.seed_from_link(now)
         return assoc
 
     def _on_handshake(

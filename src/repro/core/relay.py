@@ -42,6 +42,7 @@ from repro.core.resilience import ResilienceStats
 from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
 from repro.crypto.hashes import HashFunction
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs.linkhealth import HealthLedger
 
 
 @dataclass(frozen=True)
@@ -446,6 +447,7 @@ class RelayEngine:
         config: RelayConfig | None = None,
         obs: Observability | None = None,
         name: str = "",
+        ledger: HealthLedger | None = None,
     ) -> None:
         self._hash = hash_fn
         self._obs = obs if obs is not None else OBS_OFF
@@ -456,6 +458,11 @@ class RelayEngine:
         self.stats: dict[str, int] = {}
         #: Shared by every channel observer: evictions, corrupt drops.
         self.resilience = ResilienceStats()
+        #: Optional link-health ledger (PROTOCOL.md §11): verification
+        #: drops are attributed to the upstream hop they arrived from —
+        #: a relay seeing damaged packets from one neighbour is evidence
+        #: about *that* link.
+        self.ledger = ledger
         self.extracted: list[ExtractedMessage] = []
 
     def provision(
@@ -535,6 +542,8 @@ class RelayEngine:
         decision = self._dispatch(assoc, packet, src, len(data), now)
         if decision.extracted:
             self.extracted.extend(decision.extracted)
+        if not decision.forward and self.ledger is not None:
+            self.ledger.link(src).on_relay_drop()
         if self._obs.enabled:
             kind = EventKind.RELAY_FORWARD if decision.forward else EventKind.RELAY_DROP
             self._obs.tracer.emit(

@@ -125,6 +125,13 @@ class ResilienceStats:
     packets_sent: int = 0
     #: Packets sent again after a timeout or nack.
     retransmits: int = 0
+    #: Retransmit events provoked by a deadline expiring — nothing came
+    #: back, the congestion-flavoured half of the loss signal.
+    retransmits_timeout: int = 0
+    #: Retransmit events provoked by an explicit A2 nack — the peer
+    #: received damaged bytes, the corruption-flavoured half (the
+    #: provenance the link-health classifier splits on, PROTOCOL.md §11).
+    retransmits_nack: int = 0
     #: Times an RTO was multiplied (one per timeout-triggered resend).
     backoff_events: int = 0
     #: Clean RTT samples fed to the estimator.

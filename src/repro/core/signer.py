@@ -27,6 +27,7 @@ from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs.linkhealth import LinkHealth
 
 #: Fixed strings distinguishing pre-acks from pre-nacks
 #: (paper Section 3.2.2: "e.g., 0 and 1").
@@ -138,6 +139,9 @@ class _Exchange:
     # retransmission poisons the sample).
     sent_at: float = 0.0
     rtt_clean: bool = True
+    #: When the exchange's first S1 went out — the delivery-latency
+    #: baseline the link-health ledger measures completion against.
+    started_at: float = 0.0
 
 
 class SignerSession:
@@ -154,6 +158,7 @@ class SignerSession:
         rng: DRBG | None = None,
         obs: Observability | None = None,
         node: str = "",
+        link: LinkHealth | None = None,
     ) -> None:
         self._hash = hash_fn
         self.chain = sig_chain
@@ -163,6 +168,10 @@ class SignerSession:
         self.peer = peer
         self._obs = obs if obs is not None else OBS_OFF
         self._node = node or "signer"
+        #: Cross-association link ledger this session reports into
+        #: (retransmit provenance, RTT, delivery latency). ``None``
+        #: keeps every hook a single predictable branch.
+        self.link = link
         # Standalone DRBG (not forked from the endpoint's) so backoff
         # jitter never perturbs the endpoint's cryptographic draws.
         self.rng = rng if rng is not None else DRBG(f"signer-jitter:{assoc_id}")
@@ -233,15 +242,21 @@ class SignerSession:
             exchange.rtt_clean = False  # Karn: the next reply is ambiguous
             exchange.deadline = now + self._backed_off_timeout()
             self.stats.retransmits += 1
+            self.stats.retransmits_timeout += 1
             resent = "s1"
+            sent = 0
             if exchange.state is ExchangeState.AWAIT_A1:
                 out.append(exchange.s1_bytes)
-                self.stats.packets_sent += 1
+                sent = 1
             elif exchange.state is ExchangeState.AWAIT_A2:
                 resends = self._retransmit_s2(exchange)
                 out.extend(resends)
-                self.stats.packets_sent += len(resends)
+                sent = len(resends)
                 resent = "s2"
+            self.stats.packets_sent += sent
+            if self.link is not None:
+                self.link.on_timeout_retransmit()
+                self.link.on_packets_sent(sent)
             if self._obs.enabled:
                 self._obs.tracer.emit(
                     now, self._node, EventKind.RETRANSMIT, self.assoc_id,
@@ -296,6 +311,8 @@ class SignerSession:
             sample = max(0.0, now - exchange.sent_at)
             self.rtt.observe(sample)
             self.stats.rtt_samples += 1
+            if self.link is not None:
+                self.link.on_rtt_sample(sample)
             if self._obs.enabled:
                 self._obs.tracer.emit(
                     now, self._node, EventKind.RTO_UPDATE, self.assoc_id,
@@ -313,6 +330,8 @@ class SignerSession:
             exchange.amt_root = packet.amt_root
         s2_packets = self._build_s2_packets(exchange)
         self.stats.packets_sent += len(s2_packets)
+        if self.link is not None:
+            self.link.on_packets_sent(len(s2_packets))
         if self._obs.enabled:
             for index in range(len(s2_packets)):
                 self._obs.tracer.emit(
@@ -386,6 +405,13 @@ class SignerSession:
             exchange.rtt_clean = False
             exchange.deadline = now + self._current_timeout()
             self.stats.retransmits += 1
+            self.stats.retransmits_nack += 1
+            if self.link is not None:
+                # An explicit nack means the peer *received* damaged
+                # bytes: the corruption-provenance signal the loss-cause
+                # classifier splits on.
+                self.link.on_nack_retransmit()
+                self.link.on_packets_sent(len(out))
             return out
         return []
 
@@ -427,6 +453,8 @@ class SignerSession:
         )
         s1_bytes = s1.encode()
         self.stats.packets_sent += 1
+        if self.link is not None:
+            self.link.on_packets_sent(1)
         self._exchanges[seq] = _Exchange(
             seq=seq,
             mode=mode,
@@ -439,6 +467,7 @@ class SignerSession:
             per_tree=per_tree,
             deadline=now + self._current_timeout(),
             sent_at=now,
+            started_at=now,
         )
         if self._obs.enabled:
             self._obs.tracer.emit(
@@ -549,6 +578,10 @@ class SignerSession:
         exchange.state = ExchangeState.DONE
         self.exchanges_completed += 1
         self.consecutive_failures = 0
+        if self.link is not None:
+            self.link.on_exchange_done(
+                now, max(0.0, now - exchange.started_at)
+            )
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.EXCHANGE_DONE, self.assoc_id,
@@ -564,6 +597,8 @@ class SignerSession:
 
     def _fail_exchange(self, exchange: _Exchange, now: float = 0.0) -> None:
         exchange.state = ExchangeState.FAILED
+        if self.link is not None:
+            self.link.on_exchange_failed(now)
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.EXCHANGE_FAILED, self.assoc_id,

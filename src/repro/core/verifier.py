@@ -26,8 +26,19 @@ from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
 from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs.linkhealth import LinkHealth
 
 _SECRET_SIZE = 16
+
+#: Rejection reasons that prove the packet *arrived damaged* (versus
+#: never arriving, or arriving for an unknown exchange): the first-hand
+#: corruption evidence the link-health classifier feeds on. A replayed
+#: or forged element lands here too — an adversary damaging packets is
+#: indistinguishable from a link doing it, and both argue for the same
+#: channel posture.
+_CORRUPTION_REASONS = frozenset(
+    {"bad-chain-element", "bad-mac", "bad-key-disclosure"}
+)
 
 
 @dataclass
@@ -76,11 +87,15 @@ class VerifierSession:
         max_buffered_exchanges: int = 8,
         obs: Observability | None = None,
         node: str = "",
+        link: LinkHealth | None = None,
     ) -> None:
         if max_buffered_exchanges < 1:
             raise ValueError("need room for at least one exchange")
         self._obs = obs if obs is not None else OBS_OFF
         self._node = node or "verifier"
+        #: Cross-association link ledger fed with first-hand corruption
+        #: evidence (damaged chain elements, bad MACs).
+        self.link = link
         self._hash = hash_fn
         self.ack_chain = ack_chain
         self.sig_verifier = sig_verifier
@@ -261,6 +276,8 @@ class VerifierSession:
     # -- internals -------------------------------------------------------------
 
     def _reject_s1(self, now: float, seq: int, reason: str) -> None:
+        if self.link is not None and reason in _CORRUPTION_REASONS:
+            self.link.on_corrupt_arrival()
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.S1_VERIFY_FAIL, self.assoc_id,
@@ -269,6 +286,8 @@ class VerifierSession:
             self._obs.registry.counter("verifier.s1_rejected").inc()
 
     def _reject_s2(self, now: float, packet: S2Packet, reason: str) -> None:
+        if self.link is not None and reason in _CORRUPTION_REASONS:
+            self.link.on_corrupt_arrival()
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.S2_VERIFY_FAIL, self.assoc_id,

@@ -26,6 +26,7 @@ and allocates nothing.
 
 from __future__ import annotations
 
+from repro.obs.linkhealth import HealthLedger, LinkHealth
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,6 +34,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.timeseries import TimeSeries
 from repro.obs.trace import EventKind, ExchangeTracer, TraceEvent
 
 
@@ -52,6 +54,12 @@ class Observability:
             registry if registry is not None else MetricsRegistry(enabled=enabled)
         )
         self.tracer = tracer if tracer is not None else ExchangeTracer()
+        if enabled:
+            # Tracer health, pulled lazily at snapshot time: how much of
+            # the story the bounded buffer has shed.
+            sink = self.tracer
+            self.registry.bind("obs.trace.evicted", lambda: sink.evicted_exchanges)
+            self.registry.bind("obs.trace.dropped", lambda: sink.dropped)
 
 
 #: Shared disabled singleton: the default for every engine's ``obs``
@@ -70,4 +78,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
+    "HealthLedger",
+    "LinkHealth",
 ]

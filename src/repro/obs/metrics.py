@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.timeseries import NULL_TIME_SERIES, TimeSeries
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -68,6 +70,18 @@ class Histogram:
     def __init__(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> None:
         self.name = name
         self.bounds = tuple(bounds)
+        # Mis-ordered bounds would silently mis-bucket every observation
+        # (the first matching bound wins), so reject them up front and
+        # name the instrument — a histogram is usually constructed far
+        # from where its skewed snapshot would eventually be noticed.
+        if not self.bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        for left, right in zip(self.bounds, self.bounds[1:]):
+            if not left < right:
+                raise ValueError(
+                    f"histogram {name!r} bounds must be strictly increasing, "
+                    f"got {left!r} before {right!r}"
+                )
         # One bucket per bound plus the overflow bucket.
         self.buckets = [0] * (len(self.bounds) + 1)
         self.count = 0
@@ -91,6 +105,32 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate quantile by linear interpolation inside buckets.
+
+        Accurate to bucket granularity — good enough for the p50/p99
+        columns of reports and bench snapshots. Returns None while the
+        histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0.0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.buckets[i]
+            if in_bucket and cumulative + in_bucket >= target:
+                low = self.bounds[i - 1] if i else min(self.min, bound)
+                high = min(bound, self.max)
+                if high <= low:
+                    return high
+                fraction = (target - cumulative) / in_bucket
+                return low + fraction * (high - low)
+            cumulative += in_bucket
+        # Overflow bucket: the best statement we can make is the max.
+        return self.max
 
     def reset(self) -> None:
         self.buckets = [0] * (len(self.bounds) + 1)
@@ -143,7 +183,7 @@ class _NullHistogram(Histogram):
 
 _NULL_COUNTER = _NullCounter("null")
 _NULL_GAUGE = _NullGauge("null")
-_NULL_HISTOGRAM = _NullHistogram("null", bounds=())
+_NULL_HISTOGRAM = _NullHistogram("null")
 
 
 class MetricsSnapshot(dict):
@@ -184,6 +224,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
         self._bound: dict[str, Callable[[], object]] = {}
 
     def counter(self, name: str) -> Counter:
@@ -209,6 +250,39 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._histograms[name] = Histogram(name, bounds)
         return instrument
+
+    def series(
+        self, name: str, capacity: int = TimeSeries.DEFAULT_CAPACITY
+    ) -> TimeSeries:
+        """Bounded ``(t, value)`` ring buffer for trend queries.
+
+        Like the scalar instruments, the first caller names the series
+        (and fixes its capacity); later callers share it. A disabled
+        registry returns the shared null series.
+        """
+        if not self.enabled:
+            return NULL_TIME_SERIES
+        instrument = self._series.get(name)
+        if instrument is None:
+            instrument = self._series[name] = TimeSeries(name, capacity)
+        return instrument
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Set gauge ``name`` to ``value`` *and* append to its series.
+
+        The one-call idiom for trend-worthy gauges (loss estimates,
+        SRTT): the gauge keeps the current value for snapshots, the ring
+        buffer keeps the recent window for trend queries and export.
+        """
+        if not self.enabled:
+            return
+        self.gauge(name).set(value)
+        self.series(name).record(t, value)
+
+    def series_snapshot(self) -> dict[str, dict]:
+        """Summaries of every ring buffer (kept out of ``snapshot`` so
+        counter/gauge diffs stay purely numeric)."""
+        return {name: series.snapshot() for name, series in self._series.items()}
 
     def bind(self, name: str, sample: Callable[[], object]) -> None:
         """Register a callable sampled lazily at snapshot time.
@@ -239,3 +313,5 @@ class MetricsRegistry:
             gauge.reset()
         for histogram in self._histograms.values():
             histogram.reset()
+        for series in self._series.values():
+            series.reset()

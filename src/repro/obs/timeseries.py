@@ -1,0 +1,105 @@
+"""Bounded time-series ring buffers behind the metrics registry.
+
+Counters and gauges answer "what is the value now"; trend questions —
+is the loss estimate rising, what did SRTT do over the last minute of
+simulated time — need recent history. A :class:`TimeSeries` keeps a
+fixed-capacity ring of ``(t, value)`` samples, so a long soak run can
+record every controller tick and ledger update without unbounded
+memory: old samples fall off the back, and the ``dropped`` count says
+how much history was shed.
+
+The registry owns one :class:`TimeSeries` per name (see
+:meth:`~repro.obs.metrics.MetricsRegistry.series` and
+:meth:`~repro.obs.metrics.MetricsRegistry.record`); a disabled registry
+hands out a shared null series whose ``record`` is a no-op, mirroring
+the null-instrument pattern of the scalar instruments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class TimeSeries:
+    """Fixed-capacity ring of ``(t, value)`` samples."""
+
+    __slots__ = ("name", "capacity", "_samples", "dropped")
+
+    #: Default ring capacity: enough for minutes of per-tick controller
+    #: samples while keeping a many-series registry small.
+    DEFAULT_CAPACITY = 256
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"time series {name!r} needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._samples: deque[tuple[float, float]] = deque(maxlen=capacity)
+        #: Samples pushed off the back of the ring (never silent).
+        self.dropped = 0
+
+    def record(self, t: float, value: float) -> None:
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def last(self) -> tuple[float, float] | None:
+        """Most recent ``(t, value)`` sample, or None when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def window(self, since: float) -> list[tuple[float, float]]:
+        """Samples with ``t >= since``, oldest first."""
+        return [(t, v) for t, v in self._samples if t >= since]
+
+    def values(self, since: float | None = None) -> list[float]:
+        if since is None:
+            return [v for _, v in self._samples]
+        return [v for t, v in self._samples if t >= since]
+
+    def mean(self, since: float | None = None) -> float | None:
+        values = self.values(since)
+        return sum(values) / len(values) if values else None
+
+    def delta(self, since: float | None = None) -> float | None:
+        """Newest value minus oldest (in the window): the trend sign."""
+        values = self.values(since)
+        if len(values) < 2:
+            return None
+        return values[-1] - values[0]
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.dropped = 0
+
+    def snapshot(self) -> dict:
+        """Compact summary: span, count, last/mean, shed history."""
+        out: dict = {"count": len(self._samples), "dropped": self.dropped}
+        if self._samples:
+            t0, _ = self._samples[0]
+            t1, last = self._samples[-1]
+            out.update(
+                t_first=t0,
+                t_last=t1,
+                last=last,
+                mean=self.mean(),
+            )
+        return out
+
+
+class _NullTimeSeries(TimeSeries):
+    """Shared sink handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def record(self, t: float, value: float) -> None:  # pragma: no cover
+        pass
+
+
+NULL_TIME_SERIES = _NullTimeSeries("null", capacity=1)

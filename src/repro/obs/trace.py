@@ -99,15 +99,48 @@ class TraceEvent:
         )
 
 
-class ExchangeTracer:
-    """Bounded in-memory sink for :class:`TraceEvent` records."""
+#: Kinds that mark an exchange's story as finished; once every endpoint
+#: has said one of these, its events are eligible for eviction.
+_TERMINAL_KINDS = frozenset({EventKind.EXCHANGE_DONE, EventKind.EXCHANGE_FAILED})
 
-    def __init__(self, max_events: int = 100_000) -> None:
+
+class ExchangeTracer:
+    """Bounded in-memory sink for :class:`TraceEvent` records.
+
+    Two bounds keep a long-running tracer from growing without limit:
+
+    * ``max_events`` hard-caps the buffer — past it new events are
+      *dropped* (counted in :attr:`dropped`);
+    * ``max_completed_exchanges`` caps how many *finished* exchanges are
+      retained — past it the oldest completed exchange's events are
+      *evicted* oldest-first (counted in :attr:`evicted_exchanges`,
+      exported as ``obs.trace.evicted``), so the buffer keeps the recent
+      and the still-in-flight stories instead of filling up with
+      ancient completed ones. Events with ``seq == 0`` (handshakes,
+      controller decisions, parse drops) are exempt: only seq-scoped
+      exchange events are evicted.
+    """
+
+    def __init__(
+        self,
+        max_events: int = 100_000,
+        max_completed_exchanges: int = 256,
+    ) -> None:
+        if max_completed_exchanges < 1:
+            raise ValueError("max_completed_exchanges must be positive")
         self.max_events = max_events
+        self.max_completed_exchanges = max_completed_exchanges
         self.events: list[TraceEvent] = []
         #: Events discarded once the buffer filled (never silent: the
         #: count says exactly how much of the story is missing).
         self.dropped = 0
+        #: Completed exchanges whose events were evicted to stay under
+        #: ``max_completed_exchanges``.
+        self.evicted_exchanges = 0
+        #: ``(assoc_id, seq)`` of completed exchanges still in the
+        #: buffer, in completion order (Python dicts preserve insertion
+        #: order — this is the eviction queue).
+        self._completed: dict[tuple[int, int], None] = {}
 
     def emit(
         self,
@@ -125,6 +158,22 @@ class ExchangeTracer:
         self.events.append(
             TraceEvent(t, node, kind, assoc_id, seq, msg_index, info)
         )
+        if kind in _TERMINAL_KINDS and seq != 0:
+            self._completed[(assoc_id, seq)] = None
+            if len(self._completed) > self.max_completed_exchanges:
+                self._evict_oldest_completed()
+
+    def _evict_oldest_completed(self) -> None:
+        """Drop the oldest completed exchange's events from the buffer."""
+        key = next(iter(self._completed))
+        del self._completed[key]
+        assoc_id, seq = key
+        self.events = [
+            event
+            for event in self.events
+            if event.seq != seq or event.assoc_id != assoc_id
+        ]
+        self.evicted_exchanges += 1
 
     # -- query helpers (what the conformance suite asserts against) -----------
 
@@ -154,3 +203,5 @@ class ExchangeTracer:
     def clear(self) -> None:
         self.events = []
         self.dropped = 0
+        self.evicted_exchanges = 0
+        self._completed = {}

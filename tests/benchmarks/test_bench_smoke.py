@@ -5,16 +5,23 @@ real measurement code at toy scale (one tiny iteration, shrunken size
 constants). Running them here means bench bit-rot — an import error, a
 renamed helper, a harness API drift — fails the ordinary test run
 instead of lying dormant until someone regenerates the paper tables.
+
+Every smoke run also records a regression snapshot
+(``results/bench/BENCH_<name>.json`` via :mod:`benchmarks.tracker`):
+the metric dict the smoke returned (if any) plus its wall time.
+``scripts/bench_track.py`` diffs consecutive snapshots.
 """
 
 from __future__ import annotations
 
 import importlib
 import pkgutil
+import time
 
 import pytest
 
 import benchmarks
+from benchmarks import tracker
 
 BENCH_MODULES = sorted(
     info.name
@@ -33,4 +40,10 @@ def test_every_bench_module_is_covered():
 def test_bench_smoke(name):
     module = importlib.import_module(f"benchmarks.{name}")
     assert hasattr(module, "smoke"), f"{name} is missing a smoke() entry point"
-    module.smoke()
+    start = time.perf_counter()
+    result = module.smoke()
+    wall_s = time.perf_counter() - start
+    assert result is None or isinstance(result, dict), (
+        f"{name}.smoke() must return None or a metric dict"
+    )
+    tracker.record(name, metrics=result, wall_s=wall_s)

@@ -20,6 +20,7 @@ from repro.core.hashchain import (
 from repro.core.modes import Mode, ReliabilityMode
 from repro.core.signer import ChannelConfig, SignerSession
 from repro.obs import EventKind, Observability
+from repro.obs.linkhealth import LinkHealth
 
 H = 20
 
@@ -385,3 +386,125 @@ class TestEndpointIntegration:
         out = b.on_packet(hs1, a.name, 0.0)
         a.on_packet(out.replies[0][1], b.name, 0.0)
         assert a._by_peer["b"].controller is None
+
+
+class TestLedgerSeeding:
+    """seed_from_link: a new controller adopts known link state."""
+
+    def make_lossy_link(self, loss=0.2):
+        link = LinkHealth("v")
+        link.update_loss_estimate(loss)
+        return link
+
+    def test_seed_applies_merkle_on_known_lossy_link(self, sha1, rng):
+        signer = make_signer(sha1, rng)
+        link = self.make_lossy_link(0.2)
+        ctl = AdaptiveController(signer, CFG, link=link)
+        applied = ctl.seed_from_link(0.0)
+        assert applied is not None
+        assert applied.mode is Mode.MERKLE
+        assert ctl.loss_ewma == pytest.approx(0.2)
+        assert ctl.decisions[0].kind == "seed"
+        assert "ledger" in ctl.decisions[0].reason
+
+    def test_seed_waives_warmup(self, sha1, rng):
+        cfg = AdaptiveConfig(
+            decision_interval_s=0.5,
+            warmup_intervals=4,
+            ewma_alpha=1.0,
+            switch_cooldown_s=0.0,
+        )
+        signer = make_signer(sha1, rng)
+        ctl = AdaptiveController(signer, cfg, link=self.make_lossy_link())
+        ctl.seed_from_link(0.0)
+        # A seeded controller decides immediately; no warmup intervals.
+        feed_traffic(signer, packets=20, retransmits=10)
+        assert ctl.poll(0.6) is not None
+
+    def test_unknown_link_seeds_nothing(self, sha1, rng):
+        signer = make_signer(sha1, rng)
+        ctl = AdaptiveController(signer, CFG, link=LinkHealth("v"))
+        assert ctl.seed_from_link(0.0) is None
+        assert ctl.decisions == []
+        assert AdaptiveController(signer, CFG).seed_from_link(0.0) is None
+
+    def test_clean_link_adopts_estimate_without_switching(self, sha1, rng):
+        signer = make_signer(sha1, rng)
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.01)  # below loss_enter
+        ctl = AdaptiveController(signer, CFG, link=link)
+        assert ctl.seed_from_link(0.0) is None
+        assert ctl.loss_ewma == pytest.approx(0.01)
+        assert signer.config.mode is Mode.BASE
+
+    def test_sampling_feeds_estimate_back_to_link(self, sha1, rng):
+        signer = make_signer(sha1, rng)
+        link = LinkHealth("v")
+        ctl = AdaptiveController(signer, CFG, link=link)
+        feed_traffic(signer, packets=20, retransmits=5)
+        ctl.poll(0.0)
+        assert link.known
+        assert link.loss_ewma == pytest.approx(0.25)
+
+
+class TestCorruptionAwareTuning:
+    """Corruption-dominated links batch tighter but keep pipelining."""
+
+    def corrupting_link(self):
+        link = LinkHealth("v")
+        for _ in range(8):
+            link.on_nack_retransmit()  # pure corruption evidence
+        return link
+
+    def congested_link(self):
+        link = LinkHealth("v")
+        for _ in range(8):
+            link.on_timeout_retransmit()
+        return link
+
+    def test_corruption_keeps_pipelining(self, sha1, rng):
+        signer = make_signer(
+            sha1, rng, ChannelConfig(mode=Mode.CUMULATIVE, max_outstanding=4)
+        )
+        ctl = AdaptiveController(signer, CFG, link=self.corrupting_link())
+        for i in range(32):
+            signer.submit(b"m%d" % i)
+        feed_traffic(signer, packets=20, retransmits=5)  # lossy
+        applied = ctl.poll(0.0)
+        assert applied is not None
+        assert applied.mode is Mode.MERKLE
+        # Corruption loss is not congestion: outstanding stays open...
+        assert applied.max_outstanding > 1
+        # ...but the batch is capped to tighten pre-ack spacing.
+        assert applied.batch_size <= ctl.config.corruption_batch_cap
+
+    def test_congestion_still_collapses_outstanding(self, sha1, rng):
+        signer = make_signer(
+            sha1, rng, ChannelConfig(mode=Mode.CUMULATIVE, max_outstanding=4)
+        )
+        ctl = AdaptiveController(signer, CFG, link=self.congested_link())
+        for i in range(32):
+            signer.submit(b"m%d" % i)
+        feed_traffic(signer, packets=20, retransmits=5)
+        applied = ctl.poll(0.0)
+        assert applied is not None
+        assert applied.max_outstanding == 1
+
+    def test_unconfident_split_defaults_to_congestion_response(self, sha1, rng):
+        link = LinkHealth("v")
+        link.on_nack_retransmit()  # corruption hint, but < MIN_SPLIT_EVENTS
+        signer = make_signer(
+            sha1, rng, ChannelConfig(mode=Mode.CUMULATIVE, max_outstanding=4)
+        )
+        ctl = AdaptiveController(signer, CFG, link=link)
+        for i in range(8):
+            signer.submit(b"m%d" % i)
+        feed_traffic(signer, packets=20, retransmits=5)
+        applied = ctl.poll(0.0)
+        assert applied is not None and applied.max_outstanding == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(cause_split_threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(corruption_batch_cap=0)

@@ -1,0 +1,130 @@
+"""Unit tests for the per-link health ledger and its loss classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.linkhealth import MIN_SPLIT_EVENTS, HealthLedger, LinkHealth
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestClassifier:
+    def test_no_evidence_no_split(self):
+        link = LinkHealth("v")
+        assert link.loss_split() == (0.0, 0.0)
+        assert not link.split_confident
+        assert not link.known
+
+    def test_pure_congestion(self):
+        link = LinkHealth("v")
+        for _ in range(6):
+            link.on_timeout_retransmit()
+        congestion, corruption = link.loss_split()
+        assert congestion == 1.0 and corruption == 0.0
+        assert link.split_confident
+
+    def test_pure_corruption_via_nacks(self):
+        link = LinkHealth("v")
+        for _ in range(5):
+            link.on_nack_retransmit()
+        congestion, corruption = link.loss_split()
+        assert congestion == 0.0 and corruption == 1.0
+
+    def test_corrupt_arrivals_mirror_onto_timeouts(self):
+        # 4 timeouts, 2 of which are explained by the mirrored outbound
+        # halves of 1 locally-seen corrupt arrival (counted twice):
+        # corruption = 0 nacks + 2*1 = 2, congestion = 4 - 2 = 2.
+        link = LinkHealth("v")
+        for _ in range(4):
+            link.on_timeout_retransmit()
+        link.on_corrupt_arrival()
+        congestion, corruption = link.loss_split()
+        assert congestion == pytest.approx(0.5)
+        assert corruption == pytest.approx(0.5)
+
+    def test_congestion_never_negative(self):
+        link = LinkHealth("v")
+        link.on_timeout_retransmit()
+        for _ in range(3):
+            link.on_corrupt_arrival()
+        congestion, corruption = link.loss_split()
+        assert congestion == 0.0 and corruption == 1.0
+
+    def test_confidence_threshold(self):
+        link = LinkHealth("v")
+        for _ in range(MIN_SPLIT_EVENTS - 1):
+            link.on_nack_retransmit()
+        assert not link.split_confident
+        link.on_nack_retransmit()
+        assert link.split_confident
+
+
+class TestLinkHealth:
+    def test_rtt_ewma(self):
+        link = LinkHealth("v")
+        link.on_rtt_sample(0.1)
+        assert link.srtt == pytest.approx(0.1)
+        assert link.rttvar == pytest.approx(0.05)
+        link.on_rtt_sample(0.2)
+        assert 0.1 < link.srtt < 0.2
+        assert link.rtt_samples == 2
+
+    def test_known_after_loss_update(self):
+        link = LinkHealth("v")
+        assert not link.known
+        link.update_loss_estimate(0.07)
+        assert link.known
+        assert link.loss_ewma == pytest.approx(0.07)
+
+    def test_exchange_latency_histogram(self):
+        link = LinkHealth("v")
+        link.on_exchange_done(1.0, 0.02)
+        link.on_exchange_done(2.0, 0.04)
+        link.on_exchange_failed(3.0)
+        assert link.exchanges_completed == 2
+        assert link.exchanges_failed == 1
+        assert link.latency.count == 2
+        snap = link.snapshot()
+        assert snap["latency_p50_s"] is not None
+
+    def test_publish_mirrors_to_registry(self):
+        registry = MetricsRegistry()
+        link = LinkHealth("v", registry)
+        for _ in range(4):
+            link.on_nack_retransmit()
+        link.on_exchange_done(5.0, 0.01)
+        assert registry.gauge("link.loss.corruption").value == 1.0
+        assert registry.gauge("link.v.loss.corruption").value == 1.0
+        assert registry.series("link.loss.corruption").last == (5.0, 1.0)
+
+    def test_snapshot_fields(self):
+        link = LinkHealth("v")
+        link.on_association()
+        link.on_packets_sent(10)
+        link.on_relay_drop()
+        snap = link.snapshot()
+        assert snap["peer"] == "v"
+        assert snap["associations"] == 1
+        assert snap["packets_sent"] == 10
+        assert snap["relay_drops"] == 1
+        assert snap["srtt_s"] is None
+
+
+class TestHealthLedger:
+    def test_create_on_demand_and_persistence(self):
+        ledger = HealthLedger()
+        link = ledger.link("v")
+        assert ledger.link("v") is link  # same entry across associations
+        assert ledger.get("v") is link
+        assert ledger.get("w") is None  # get never creates
+        assert len(ledger) == 1
+        assert ledger.peers == ["v"]
+
+    def test_iteration_and_snapshot(self):
+        ledger = HealthLedger()
+        ledger.link("b").on_packets_sent(2)
+        ledger.link("a").on_packets_sent(1)
+        assert [link.peer for link in ledger] == ["b", "a"]
+        snap = ledger.snapshot()
+        assert list(snap) == ["a", "b"]  # snapshot is peer-sorted
+        assert snap["a"]["packets_sent"] == 1

@@ -1,0 +1,55 @@
+"""Histogram bucket-bound validation and quantile interpolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram
+
+
+class TestBoundsValidation:
+    def test_empty_bounds_rejected_naming_instrument(self):
+        with pytest.raises(ValueError, match="rtt_hist"):
+            Histogram("rtt_hist", bounds=())
+
+    def test_non_increasing_bounds_rejected_naming_instrument(self):
+        with pytest.raises(ValueError, match="latency_hist"):
+            Histogram("latency_hist", bounds=(0.1, 0.1, 0.5))
+
+    def test_decreasing_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 0.5))
+
+    def test_valid_bounds_accepted(self):
+        hist = Histogram("ok", bounds=(1.0, 2.0, 3.0))
+        assert hist.bounds == (1.0, 2.0, 3.0)
+        assert Histogram("defaults").bounds == DEFAULT_BOUNDS
+
+
+class TestQuantile:
+    def test_empty_returns_none(self):
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_single_bucket_interpolation(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for value in (1.2, 1.4, 1.6, 1.8):
+            hist.observe(value)
+        p50 = hist.quantile(0.5)
+        assert 1.2 <= p50 <= 1.8
+
+    def test_quantiles_are_monotone(self):
+        hist = Histogram("h", bounds=(0.01, 0.1, 1.0, 10.0))
+        for value in (0.005, 0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        qs = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_overflow_reports_max(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(5.0)
+        hist.observe(9.0)
+        assert hist.quantile(0.99) == 9.0

@@ -1,0 +1,86 @@
+"""Ring-buffer time series + the registry's series/record plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import NULL_TIME_SERIES, TimeSeries
+
+
+class TestTimeSeries:
+    def test_records_in_order_and_bounded(self):
+        series = TimeSeries("loss", capacity=4)
+        for i in range(6):
+            series.record(float(i), i * 0.1)
+        assert len(series) == 4
+        assert series.dropped == 2
+        assert [t for t, _ in series] == [2.0, 3.0, 4.0, 5.0]
+        assert series.last == (5.0, pytest.approx(0.5))
+
+    def test_window_and_values(self):
+        series = TimeSeries("srtt")
+        for i in range(5):
+            series.record(float(i), float(10 + i))
+        assert series.window(3.0) == [(3.0, 13.0), (4.0, 14.0)]
+        assert series.values(since=3.0) == [13.0, 14.0]
+        assert series.values() == [10.0, 11.0, 12.0, 13.0, 14.0]
+
+    def test_mean_and_delta(self):
+        series = TimeSeries("x")
+        assert series.mean() is None
+        assert series.delta() is None
+        series.record(0.0, 2.0)
+        assert series.delta() is None  # one sample has no trend
+        series.record(1.0, 6.0)
+        assert series.mean() == pytest.approx(4.0)
+        assert series.delta() == pytest.approx(4.0)
+
+    def test_snapshot_and_reset(self):
+        series = TimeSeries("x", capacity=2)
+        series.record(1.0, 5.0)
+        series.record(2.0, 7.0)
+        series.record(3.0, 9.0)
+        snap = series.snapshot()
+        assert snap["count"] == 2
+        assert snap["dropped"] == 1
+        assert snap["t_first"] == 2.0
+        assert snap["t_last"] == 3.0
+        assert snap["last"] == 9.0
+        series.reset()
+        assert len(series) == 0 and series.dropped == 0
+        assert series.snapshot() == {"count": 0, "dropped": 0}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="bad-series"):
+            TimeSeries("bad-series", capacity=0)
+
+
+class TestRegistrySeries:
+    def test_record_feeds_gauge_and_series(self):
+        registry = MetricsRegistry()
+        registry.record("loss", 1.0, 0.2)
+        registry.record("loss", 2.0, 0.4)
+        assert registry.gauge("loss").value == pytest.approx(0.4)
+        assert registry.series("loss").values() == [
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+        ]
+
+    def test_series_named_once(self):
+        registry = MetricsRegistry()
+        a = registry.series("x", capacity=8)
+        b = registry.series("x", capacity=999)  # later capacity ignored
+        assert a is b and a.capacity == 8
+
+    def test_series_snapshot(self):
+        registry = MetricsRegistry()
+        registry.record("a", 1.0, 1.0)
+        snap = registry.series_snapshot()
+        assert snap["a"]["count"] == 1
+
+    def test_disabled_registry_hands_out_null_series(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.series("x") is NULL_TIME_SERIES
+        registry.record("x", 1.0, 2.0)  # no-op, no error
+        assert len(NULL_TIME_SERIES) == 0

@@ -1,0 +1,99 @@
+"""ExchangeTracer memory bounding: completed-exchange eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventKind, ExchangeTracer, Observability
+
+
+def run_exchange(tracer: ExchangeTracer, seq: int, assoc_id: int = 1) -> None:
+    tracer.emit(0.0, "s", EventKind.S1_SEND, assoc_id, seq=seq)
+    tracer.emit(0.1, "v", EventKind.S2_VERIFY_OK, assoc_id, seq=seq)
+    tracer.emit(0.2, "s", EventKind.EXCHANGE_DONE, assoc_id, seq=seq)
+
+
+class TestEviction:
+    def test_under_cap_keeps_everything(self):
+        tracer = ExchangeTracer(max_completed_exchanges=4)
+        for seq in range(1, 5):
+            run_exchange(tracer, seq)
+        assert tracer.evicted_exchanges == 0
+        assert len(tracer.events) == 12
+
+    def test_oldest_completed_evicted_first(self):
+        tracer = ExchangeTracer(max_completed_exchanges=2)
+        for seq in range(1, 5):
+            run_exchange(tracer, seq)
+        assert tracer.evicted_exchanges == 2
+        # Exchanges 1 and 2 are gone, 3 and 4 fully retained.
+        assert tracer.for_exchange(1) == []
+        assert tracer.for_exchange(2) == []
+        assert len(tracer.for_exchange(3)) == 3
+        assert len(tracer.for_exchange(4)) == 3
+
+    def test_in_flight_exchanges_never_evicted(self):
+        tracer = ExchangeTracer(max_completed_exchanges=1)
+        # Exchange 9 never completes: it must survive any amount of
+        # completed-exchange churn.
+        tracer.emit(0.0, "s", EventKind.S1_SEND, 1, seq=9)
+        for seq in range(1, 6):
+            run_exchange(tracer, seq)
+        assert len(tracer.for_exchange(9)) == 1
+        assert tracer.evicted_exchanges == 4
+
+    def test_seqless_events_exempt(self):
+        tracer = ExchangeTracer(max_completed_exchanges=1)
+        tracer.emit(0.0, "s", EventKind.HS_SEND, 1)  # seq 0: exempt
+        tracer.emit(0.1, "s", EventKind.ADAPT_SWITCH, 1)
+        for seq in range(1, 4):
+            run_exchange(tracer, seq)
+        kinds = [event.kind for event in tracer.events]
+        assert EventKind.HS_SEND in kinds
+        assert EventKind.ADAPT_SWITCH in kinds
+
+    def test_failed_exchanges_count_as_completed(self):
+        tracer = ExchangeTracer(max_completed_exchanges=1)
+        tracer.emit(0.0, "s", EventKind.S1_SEND, 1, seq=1)
+        tracer.emit(0.1, "s", EventKind.EXCHANGE_FAILED, 1, seq=1)
+        run_exchange(tracer, 2)
+        assert tracer.for_exchange(1) == []
+        assert tracer.evicted_exchanges == 1
+
+    def test_assoc_scoped_eviction(self):
+        # Same seq on two associations: only the evicted association's
+        # events disappear.
+        tracer = ExchangeTracer(max_completed_exchanges=1)
+        run_exchange(tracer, 1, assoc_id=7)
+        run_exchange(tracer, 1, assoc_id=8)
+        assert tracer.for_exchange(1, assoc_id=7) == []
+        assert len(tracer.for_exchange(1, assoc_id=8)) == 3
+
+    def test_clear_resets_eviction_state(self):
+        tracer = ExchangeTracer(max_completed_exchanges=1)
+        run_exchange(tracer, 1)
+        run_exchange(tracer, 2)
+        tracer.clear()
+        assert tracer.evicted_exchanges == 0
+        run_exchange(tracer, 3)
+        assert tracer.evicted_exchanges == 0
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExchangeTracer(max_completed_exchanges=0)
+
+
+class TestObsBinding:
+    def test_evicted_counter_exported(self):
+        obs = Observability()
+        obs.tracer.max_completed_exchanges = 1
+        run_exchange(obs.tracer, 1)
+        run_exchange(obs.tracer, 2)
+        snap = obs.registry.snapshot()
+        assert snap["obs.trace.evicted"] == 1
+        assert snap["obs.trace.dropped"] == 0
+
+    def test_hard_cap_still_drops(self):
+        tracer = ExchangeTracer(max_events=2)
+        run_exchange(tracer, 1)
+        assert tracer.dropped == 1

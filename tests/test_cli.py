@@ -29,3 +29,46 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTrace:
+    def test_trace_canonical(self, capsys):
+        assert main(["trace", "basic", "--no-summary"]) == 0
+        assert "canonical exchange: basic" in capsys.readouterr().out
+
+    def test_trace_unknown_exchange(self, capsys):
+        assert main(["trace", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown exchange 'nonsense'" in err
+        assert "available:" in err
+        assert "reliable" in err
+
+
+class TestTelemetry:
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "link health" in out
+        assert "v" in out  # the scenario's peer appears in the table
+
+    def test_export_prometheus(self, capsys):
+        assert main(["export"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE alpha_link_loss_corruption gauge" in out
+        assert 'peer="v"' in out
+
+    def test_export_jsonl(self, capsys):
+        import json
+
+        assert main(["export", "-f", "jsonl"]) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert any(r["record"] == "link" for r in records)
+
+    def test_export_to_file(self, capsys, tmp_path):
+        target = tmp_path / "metrics.prom"
+        assert main(["export", "-o", str(target)]) == 0
+        assert "wrote prom export" in capsys.readouterr().out
+        assert "alpha_" in target.read_text()
