@@ -7,15 +7,20 @@ quantiles, bytes/packet — deterministic, so a change means the *code*
 changed) plus the wall-clock seconds the smoke took (informational:
 host-dependent and noisy, excluded from regression comparison).
 
-Each file keeps exactly two generations::
+Each file keeps the current snapshot plus a bounded ring of prior
+generations (oldest first, newest last)::
 
     {"schema": 1, "bench": "bench_e2e_modes",
      "current":  {"wall_s": ..., "goodput_bps": ..., ...},
-     "previous": {...} | null}
+     "previous": {...} | null,
+     "history":  [{...}, ...]}
 
-``scripts/bench_track.py`` diffs ``current`` against ``previous`` and
-fails on regressions beyond its tolerance; ``scripts/check.sh --bench``
-wires that into the check pipeline.
+``previous`` stays the last history entry for single-step diffing;
+``history`` holds up to :data:`HISTORY_RING` generations so
+``scripts/bench_track.py`` can also flag *slow* drifts that no single
+step exceeds. ``scripts/check.sh --bench`` wires both into the check
+pipeline. Snapshots written before the ring existed (no ``history``
+key) upgrade in place on their next rotation.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from benchmarks.conftest import RESULTS_DIR
 
 SCHEMA = 1
 BENCH_DIR = RESULTS_DIR / "bench"
+#: Prior generations kept per bench (the trend window).
+HISTORY_RING = 8
 
 
 def record(
@@ -42,13 +49,24 @@ def record(
     BENCH_DIR.mkdir(parents=True, exist_ok=True)
     path = BENCH_DIR / f"BENCH_{name}.json"
     previous = None
+    history: list[dict] = []
     if path.exists():
         try:
             stale = json.loads(path.read_text(encoding="utf-8"))
             if isinstance(stale, dict) and stale.get("schema") == SCHEMA:
-                previous = stale.get("current")
+                prior = stale.get("history")
+                if isinstance(prior, list):
+                    history = [g for g in prior if isinstance(g, dict)]
+                elif isinstance(stale.get("previous"), dict):
+                    # Pre-ring snapshot: seed the ring from its pair.
+                    history = [stale["previous"]]
+                if isinstance(stale.get("current"), dict):
+                    history.append(stale["current"])
+                history = history[-HISTORY_RING:]
+                previous = history[-1] if history else None
         except (OSError, ValueError):
             previous = None  # corrupt snapshot: start a fresh history
+            history = []
     current: dict = {}
     if wall_s is not None:
         current["wall_s"] = round(wall_s, 6)
@@ -65,6 +83,7 @@ def record(
         "bench": name,
         "current": current,
         "previous": previous,
+        "history": history,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

@@ -6,6 +6,12 @@ bench smokes (``benchmarks/tracker.py``), compares ``current`` against
 ``previous`` metric by metric, and exits non-zero when any metric moved
 in its bad direction by more than the tolerance (default 15%).
 
+Snapshots also carry a bounded ``history`` ring (the last N
+generations); with three or more points the script additionally checks
+the *cumulative* drift over the whole window, so a metric eroding 3%
+per change — never enough to trip the single-step tolerance — is still
+flagged once the window total crosses it.
+
 Metric direction is inferred from the key name: goodput/throughput/
 delivered-style keys must not fall, latency/elapsed/ratio/per-message
 keys must not rise. ``wall_s`` is host wall-clock — noisy by nature —
@@ -36,6 +42,11 @@ SCHEMA = 1
 HIGHER_BETTER = ("goodput", "throughput", "delivered", "bps", "ops_per_s")
 #: Key-name fragments marking a metric where smaller is better.
 LOWER_BETTER = ("latency", "elapsed", "ratio", "per_msg", "bytes", "wall")
+
+
+#: Minimum series length before the drift check speaks: two points are
+#: exactly what the single-step diff already covers.
+MIN_TREND_POINTS = 3
 
 
 def direction(key: str) -> int:
@@ -83,6 +94,71 @@ def compare(
     return regressions
 
 
+def trend(values: list[float]) -> float:
+    """Least-squares slope of ``values`` per generation step.
+
+    A positive slope means the metric is rising over the window. With
+    fewer than two points (or a degenerate window) the slope is 0.
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_i = (n - 1) / 2
+    mean_v = sum(values) / n
+    cov = sum((i - mean_i) * (v - mean_v) for i, v in enumerate(values))
+    var = sum((i - mean_i) ** 2 for i in range(n))
+    return cov / var
+
+
+def series(payload: dict, key: str) -> list[float]:
+    """The metric's value per generation, oldest first, current last."""
+    generations = [
+        g for g in payload.get("history") or [] if isinstance(g, dict)
+    ]
+    generations.append(payload.get("current") or {})
+    return [
+        g[key]
+        for g in generations
+        if isinstance(g.get(key), (int, float))
+        and not isinstance(g.get(key), bool)
+    ]
+
+
+def compare_trend(
+    bench: str,
+    payload: dict,
+    tolerance: float,
+    include_wall: bool,
+) -> list[str]:
+    """Drift lines over the history ring (empty = clean).
+
+    Complements :func:`compare`: the single-step diff catches cliffs,
+    this catches slow erosion — a cumulative move over the window in
+    the bad direction beyond the tolerance, even if no adjacent pair
+    exceeded it.
+    """
+    drifts = []
+    current = payload.get("current") or {}
+    for key in sorted(current):
+        if key == "wall_s" and not include_wall:
+            continue
+        sign = direction(key)
+        if sign == 0:
+            continue
+        values = series(payload, key)
+        if len(values) < MIN_TREND_POINTS or values[0] == 0:
+            continue
+        total = (values[-1] - values[0]) / abs(values[0])
+        if -total * sign > tolerance:
+            verb = "eroded" if sign > 0 else "crept up"
+            drifts.append(
+                f"{bench}: {key} {verb} {total:+.1%} over "
+                f"{len(values)} snapshots (slope {trend(values):+g}/step,"
+                f" tolerance {tolerance:.0%})"
+            )
+    return drifts
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -104,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
               "suite first (it writes one per bench smoke)")
         return 0
     regressions: list[str] = []
+    drifts: list[str] = []
     compared = skipped = 0
     for path in snapshots:
         try:
@@ -126,11 +203,17 @@ def main(argv: list[str] | None = None) -> int:
             compare(payload["bench"], previous, current,
                     args.tolerance, args.include_wall)
         )
+        drifts.extend(
+            compare_trend(payload["bench"], payload,
+                          args.tolerance, args.include_wall)
+        )
     print(f"bench_track: {compared} compared, {skipped} without history,"
-          f" {len(regressions)} regression(s)")
+          f" {len(regressions)} regression(s), {len(drifts)} drift(s)")
     for line in regressions:
         print(f"  REGRESSION {line}")
-    return 1 if regressions else 0
+    for line in drifts:
+        print(f"  DRIFT {line}")
+    return 1 if regressions or drifts else 0
 
 
 if __name__ == "__main__":

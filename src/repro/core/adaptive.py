@@ -96,6 +96,11 @@ class AdaptiveConfig:
     #: tighter pre-ack spacing (paper §3.3.3), so a damaged S2 is
     #: nacked and repaired after fewer in-flight packets.
     corruption_batch_cap: int = 8
+    #: Half-life for aging the ledger's carried-over loss estimate
+    #: before seeding a fresh association from it (a link that
+    #: recovered since the last association must not be seeded into the
+    #: loss-protective mode it no longer needs).
+    loss_half_life_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.decision_interval_s <= 0:
@@ -120,6 +125,8 @@ class AdaptiveConfig:
             raise ValueError("cause split threshold must be in [0.5, 1]")
         if self.corruption_batch_cap < 1:
             raise ValueError("corruption batch cap must be positive")
+        if self.loss_half_life_s <= 0:
+            raise ValueError("loss half-life must be positive")
 
 
 @dataclass(frozen=True)
@@ -182,8 +189,9 @@ class AdaptiveController:
         self._samples += 1
         if self.link is not None:
             # The ledger carries the estimate across associations: the
-            # next association's controller seeds from it.
-            self.link.update_loss_estimate(self.loss_ewma)
+            # next association's controller seeds from it (time-decayed
+            # by seed_from_link, hence the timestamp).
+            self.link.update_loss_estimate(self.loss_ewma, now)
 
     # -- targets (hysteresis lives here) ---------------------------------------
 
@@ -274,7 +282,7 @@ class AdaptiveController:
         link = self.link
         if link is None or not link.known:
             return None
-        self.loss_ewma = link.loss_ewma
+        self.loss_ewma = link.loss_estimate(now, self.config.loss_half_life_s)
         self._samples = max(self._samples, self.config.warmup_intervals)
         if self.loss_ewma < self.config.loss_enter:
             return None

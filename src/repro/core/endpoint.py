@@ -72,6 +72,13 @@ class EndpointConfig:
     rto_max_s: float = 10.0
     backoff_factor: float = 2.0
     backoff_jitter: float = 0.1
+    #: Storm-proofing knobs (PROTOCOL.md §12; see ChannelConfig for the
+    #: per-knob semantics): nack-storm damper token bucket and the
+    #: escape-hatch probe after K consecutive max-RTO timeouts.
+    nack_bucket: int = 4
+    nack_refill_rtos: float = 1.0
+    rto_probe_after: int = 2
+    probe_budget: int = 2
     #: Consecutive failed exchanges after which the peer is declared
     #: dead and the association marked DOWN (0 disables detection).
     dead_peer_threshold: int = 3
@@ -120,6 +127,10 @@ class EndpointConfig:
             rto_max_s=self.rto_max_s,
             backoff_factor=self.backoff_factor,
             backoff_jitter=self.backoff_jitter,
+            nack_bucket=self.nack_bucket,
+            nack_refill_rtos=self.nack_refill_rtos,
+            rto_probe_after=self.rto_probe_after,
+            probe_budget=self.probe_budget,
         )
 
 
@@ -195,6 +206,9 @@ class AlphaEndpoint:
         #: merged into a block that outlives them — snapshots stay
         #: idempotent no matter how often they are taken.
         self._drained = ResilienceStats()
+        #: Worst max-RTO pin streak among retired signers (see
+        #: :meth:`max_rto_streak_peak`).
+        self._drained_rto_peak = 0
         #: Per-link health ledger (PROTOCOL.md §11). Entries outlive
         #: associations, so re-keyed channels inherit the link's loss
         #: history instead of relearning it. Maintained whenever the
@@ -362,6 +376,11 @@ class AlphaEndpoint:
             if assoc.retired and assoc.signer.idle:
                 # Preserve the drained association's counters before it goes.
                 self._drained.merge(assoc.signer.stats)
+                self._drained_rto_peak = max(
+                    self._drained_rto_peak, assoc.signer.max_rto_streak_peak
+                )
+                if assoc.verifier is not None:
+                    self._drained.nack_suppressed += assoc.verifier.nacks_suppressed
                 del self._by_id[assoc.assoc_id]
         return out
 
@@ -690,7 +709,7 @@ class AlphaEndpoint:
         Idempotent: builds a fresh block every call without mutating any
         source, so repeated snapshots return identical totals.
         """
-        return ResilienceStats.aggregate(
+        total = ResilienceStats.aggregate(
             self.stats,
             self._drained,
             *(
@@ -698,4 +717,29 @@ class AlphaEndpoint:
                 for assoc in self._by_id.values()
                 if assoc.signer is not None
             ),
+        )
+        # Both halves of the storm damper live under one counter: the
+        # signer's token bucket and the verifier's duplicate-nack
+        # suppression both record "a nack that was not acted on".
+        total.nack_suppressed += sum(
+            assoc.verifier.nacks_suppressed
+            for assoc in self._by_id.values()
+            if assoc.verifier is not None
+        )
+        return total
+
+    def max_rto_streak_peak(self) -> int:
+        """Worst run of consecutive timeouts any signer spent pinned at
+        ``rto_max_s``. With the escape hatch enabled this stays at or
+        below ``rto_probe_after`` — the wedge-regression suite asserts
+        exactly that.
+        """
+        return max(
+            self._drained_rto_peak,
+            *(
+                assoc.signer.max_rto_streak_peak
+                for assoc in self._by_id.values()
+                if assoc.signer is not None
+            ),
+            0,
         )

@@ -80,7 +80,7 @@ class RttEstimator:
         self._backed_off = self._clamp(self._backed_off * factor)
         return self._backed_off
 
-    def clear_backoff(self) -> None:
+    def clear_backoff(self, sample_s: float | None = None) -> None:
         """Collapse any backoff to the estimated RTO.
 
         RFC 6298 §5.7: once the peer acknowledges new data the
@@ -88,7 +88,26 @@ class RttEstimator:
         the estimate. Without this, Karn's algorithm (which discards
         retransmitted samples) would pin the RTO at its maximum under
         sustained loss even though exchanges keep completing.
+
+        ``sample_s`` carries a fresh round-trip measurement (e.g. from
+        an escape-hatch probe). While the estimator sits pinned at
+        ``max_rto_s`` the stale SRTT no longer describes the link, so
+        the sample *reseeds* the estimator as if it were the first;
+        otherwise it folds in as a normal observation. Either way the
+        backoff collapses.
         """
+        if sample_s is not None:
+            if sample_s < 0:
+                raise ValueError("RTT samples must be non-negative")
+            if self.srtt is None or self._backed_off >= self.max_rto_s:
+                self.srtt = sample_s
+                self.rttvar = sample_s / 2
+                self.samples += 1
+                self._rto = self._clamp(self.srtt + self.K * self.rttvar)
+                self._backed_off = self._rto
+            else:
+                self.observe(sample_s)
+            return
         self._backed_off = self._rto
 
 
@@ -132,8 +151,16 @@ class ResilienceStats:
     #: received damaged bytes, the corruption-flavoured half (the
     #: provenance the link-health classifier splits on, PROTOCOL.md §11).
     retransmits_nack: int = 0
+    #: Nack-provoked retransmit events the storm damper suppressed
+    #: (token bucket empty / suppression window open).
+    nack_suppressed: int = 0
     #: Times an RTO was multiplied (one per timeout-triggered resend).
     backoff_events: int = 0
+    #: Escape-hatch probes (bare S1 resends) sent after consecutive
+    #: timeouts pinned at ``max_rto_s``.
+    escape_probes: int = 0
+    #: Probes answered by a repeated A1, collapsing the pinned backoff.
+    probe_recoveries: int = 0
     #: Clean RTT samples fed to the estimator.
     rtt_samples: int = 0
     #: Exchanges/handshakes that hit their retry cap.

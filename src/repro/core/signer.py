@@ -34,6 +34,11 @@ from repro.obs.linkhealth import LinkHealth
 PRE_ACK_TAG = b"1"
 PRE_NACK_TAG = b"0"
 
+#: Fraction of classified loss at which one cause counts as dominant
+#: when the link ledger biases the damper/escape hatch. Mirrors
+#: ``AdaptiveConfig.cause_split_threshold``'s default (PROTOCOL.md §11).
+_CAUSE_BIAS_THRESHOLD = 0.6
+
 
 @dataclass(frozen=True)
 class ChannelConfig:
@@ -69,6 +74,23 @@ class ChannelConfig:
     #: Fractional jitter multiplied onto each backed-off deadline so
     #: synchronized flows don't retransmit in lockstep. 0 disables.
     backoff_jitter: float = 0.1
+    #: Nack-storm damper: token-bucket capacity for nack-provoked
+    #: retransmit events per exchange. A corruption storm turns every
+    #: honored nack into an instantly re-damaged resend whose refreshed
+    #: deadline starves the timeout path; the bucket admits short nack
+    #: bursts at full speed and then suppresses with exponentially
+    #: growing windows. 0 disables the damper.
+    nack_bucket: int = 4
+    #: Quiet time (in RTOs) that refills one bucket token.
+    nack_refill_rtos: float = 1.0
+    #: RTO escape hatch: consecutive timeouts pinned at ``rto_max_s``
+    #: before the signer probes the link with the bare S1 (the verifier
+    #: repeats its A1 verbatim) instead of blindly resending the full
+    #: batch. 0 disables the hatch.
+    rto_probe_after: int = 2
+    #: Unanswered probes before the exchange fails terminally
+    #: (reason ``rto-escape``) and dead-peer handling takes over.
+    probe_budget: int = 2
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -87,6 +109,14 @@ class ChannelConfig:
             raise ValueError("backoff factor must be at least 1")
         if self.backoff_jitter < 0:
             raise ValueError("backoff jitter must be non-negative")
+        if self.nack_bucket < 0:
+            raise ValueError("nack bucket capacity must be non-negative")
+        if self.nack_refill_rtos <= 0:
+            raise ValueError("nack refill interval must be positive")
+        if self.rto_probe_after < 0:
+            raise ValueError("probe threshold must be non-negative")
+        if self.probe_budget < 1:
+            raise ValueError("need at least one probe in the budget")
 
     @property
     def effective_batch(self) -> int:
@@ -142,6 +172,20 @@ class _Exchange:
     #: When the exchange's first S1 went out — the delivery-latency
     #: baseline the link-health ledger measures completion against.
     started_at: float = 0.0
+    # Nack-storm damper: token bucket plus exponential suppression
+    # windows on nack-provoked retransmits (PROTOCOL.md §12).
+    nack_tokens: float = 0.0
+    nack_refill_at: float = 0.0
+    nack_suppress_streak: int = 0
+    nack_open_at: float = 0.0
+    # RTO escape hatch: consecutive timeouts at the RTO ceiling, and
+    # the probe state machine that replaces blind batch resends.
+    at_max_streak: int = 0
+    probing: bool = False
+    probe_sends: int = 0
+    probe_sent_at: float = 0.0
+    probe_episodes: int = 0
+    probe_marker: tuple = ()
 
 
 class SignerSession:
@@ -193,6 +237,10 @@ class SignerSession:
         self.exchanges_failed = 0
         #: Exchange failures since the last success; dead-peer signal.
         self.consecutive_failures = 0
+        #: Longest run of consecutive timeouts any exchange spent pinned
+        #: at ``rto_max_s`` before the escape hatch intervened. With the
+        #: hatch enabled this never exceeds the probe threshold.
+        self.max_rto_streak_peak = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -238,21 +286,43 @@ class SignerSession:
             if exchange.retries >= self.config.max_retries:
                 self._fail_exchange(exchange, now)
                 continue
+            if exchange.probing and exchange.probe_sends >= self.config.probe_budget:
+                # The link never answered even the minimal S1/A1 probe:
+                # stop spinning at max RTO and fail terminally so dead-
+                # peer detection / re-bootstrap takes over.
+                self._fail_exchange(exchange, now, reason="rto-escape")
+                continue
+            if not exchange.probing and self._note_max_rto_timeout(exchange):
+                if not self._engage_probe(exchange, now):
+                    continue  # structurally stuck: failed terminally
             exchange.retries += 1
             exchange.rtt_clean = False  # Karn: the next reply is ambiguous
-            exchange.deadline = now + self._backed_off_timeout()
             self.stats.retransmits += 1
             self.stats.retransmits_timeout += 1
             resent = "s1"
             sent = 0
-            if exchange.state is ExchangeState.AWAIT_A1:
+            if exchange.probing:
+                # Escape hatch: probe with the bare S1 — the verifier
+                # repeats its A1 verbatim for a retransmitted S1, so one
+                # packet each way re-measures the link without pushing
+                # the full batch into it.
+                exchange.probe_sends += 1
+                exchange.probe_sent_at = now
+                exchange.deadline = now + self._current_timeout()
                 out.append(exchange.s1_bytes)
                 sent = 1
-            elif exchange.state is ExchangeState.AWAIT_A2:
-                resends = self._retransmit_s2(exchange)
-                out.extend(resends)
-                sent = len(resends)
-                resent = "s2"
+                resent = "probe"
+                self.stats.escape_probes += 1
+            else:
+                exchange.deadline = now + self._backed_off_timeout()
+                if exchange.state is ExchangeState.AWAIT_A1:
+                    out.append(exchange.s1_bytes)
+                    sent = 1
+                elif exchange.state is ExchangeState.AWAIT_A2:
+                    resends = self._retransmit_s2(exchange)
+                    out.extend(resends)
+                    sent = len(resends)
+                    resent = "s2"
             self.stats.packets_sent += sent
             if self.link is not None:
                 self.link.on_timeout_retransmit()
@@ -263,7 +333,15 @@ class SignerSession:
                     exchange.seq,
                     info=f"{resent} try={exchange.retries} rto={self.rtt.rto:.4f}",
                 )
-                if self.config.adaptive_rto:
+                if exchange.probing:
+                    self._obs.tracer.emit(
+                        now, self._node, EventKind.RTO_PROBE, self.assoc_id,
+                        exchange.seq,
+                        info=f"probe={exchange.probe_sends}"
+                        f"/{self.config.probe_budget}",
+                    )
+                    self._obs.registry.counter("resilience.rto.probes").inc()
+                elif self.config.adaptive_rto:
                     self._obs.tracer.emit(
                         now, self._node, EventKind.BACKOFF, self.assoc_id,
                         exchange.seq, info=f"rto={self.rtt.rto:.4f}",
@@ -283,6 +361,8 @@ class SignerSession:
         if exchange is None:
             return []  # stale or duplicate A1
         if exchange.state is not ExchangeState.AWAIT_A1:
+            if exchange.probing and exchange.state is ExchangeState.AWAIT_A2:
+                return self._probe_response(exchange, packet, now)
             # Paper Section 3.2.2: discard pre-(n)acks in further A1
             # packets once an S2 has been sent.
             return []
@@ -301,6 +381,7 @@ class SignerSession:
             self._reject_a1(now, packet.seq, "wrong-echo")
             return []  # acknowledges someone else's S1
         exchange.a1_ack_element = ack_element
+        self._exchange_alive(exchange)
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.A1_VERIFY_OK, self.assoc_id,
@@ -372,6 +453,7 @@ class SignerSession:
             return []
         if self.config.adaptive_rto:
             self.rtt.clear_backoff()  # authentic A2: the peer is alive
+        self._exchange_alive(exchange)
         key = exchange.ack_key_element.value
         for verdict in packet.verdicts:
             if not 0 <= verdict.msg_index < len(exchange.messages):
@@ -393,6 +475,11 @@ class SignerSession:
             self._complete_exchange(exchange, delivered=True, now=now)
             return []
         if exchange.nacked:
+            if not self._admit_nack_retransmit(exchange, now):
+                # Damper engaged: swallow the nack and leave the
+                # deadline untouched so the timeout path stays live.
+                exchange.nacked.clear()
+                return []
             out = self._retransmit_s2(exchange, only=exchange.nacked)
             self.stats.packets_sent += len(out)
             if self._obs.enabled:
@@ -468,6 +555,8 @@ class SignerSession:
             deadline=now + self._current_timeout(),
             sent_at=now,
             started_at=now,
+            nack_tokens=self._nack_capacity(),
+            nack_refill_at=now,
         )
         if self._obs.enabled:
             self._obs.tracer.emit(
@@ -509,6 +598,174 @@ class SignerSession:
         if self.config.backoff_jitter:
             timeout *= 1.0 + self.rng.uniform(0.0, self.config.backoff_jitter)
         return timeout
+
+    # -- storm damper / escape hatch (PROTOCOL.md §12) -------------------------
+
+    def _loss_bias(self) -> str:
+        """``corruption`` | ``congestion`` | ``balanced`` per the ledger.
+
+        The cross-association :class:`LinkHealth` split (PROTOCOL.md
+        §11) biases both defenses: corruption-dominated links prefer
+        probing (replies die on the wire, so re-measure sooner), while
+        congestion-dominated links prefer damping (extra repair traffic
+        feeds the queue that is dropping packets).
+        """
+        link = self.link
+        if link is None or not link.split_confident:
+            return "balanced"
+        congestion, corruption = link.loss_split()
+        if corruption >= _CAUSE_BIAS_THRESHOLD:
+            return "corruption"
+        if congestion >= _CAUSE_BIAS_THRESHOLD:
+            return "congestion"
+        return "balanced"
+
+    def _nack_capacity(self) -> float:
+        capacity = self.config.nack_bucket
+        if capacity and self._loss_bias() == "congestion":
+            capacity = max(1, capacity // 2)
+        return float(capacity)
+
+    def _probe_threshold(self) -> int:
+        threshold = self.config.rto_probe_after
+        if threshold and self._loss_bias() == "corruption":
+            threshold = max(1, threshold - 1)
+        return threshold
+
+    def _admit_nack_retransmit(self, exchange: _Exchange, now: float) -> bool:
+        """Nack-storm damper: token bucket + exponential suppression.
+
+        Under a corruption storm every retransmitted S2 arrives damaged
+        and is nacked again; honoring each nack instantly turns the
+        exchange into a tight resend loop whose refreshed deadline keeps
+        the timeout path — and with it the retry cap — from ever firing.
+        The bucket admits short bursts at full speed; once drained,
+        suppression windows grow exponentially with the streak. A
+        suppressed nack leaves the deadline alone, so timeouts (and
+        terminal outcomes) stay reachable.
+        """
+        capacity = self._nack_capacity()
+        if capacity <= 0:
+            return True  # damper disabled
+        rto = self._current_timeout()
+        elapsed = max(0.0, now - exchange.nack_refill_at)
+        exchange.nack_tokens = min(
+            capacity,
+            exchange.nack_tokens + elapsed / (self.config.nack_refill_rtos * rto),
+        )
+        exchange.nack_refill_at = now
+        if exchange.nack_tokens >= 1.0:
+            exchange.nack_tokens -= 1.0
+            exchange.nack_suppress_streak = 0
+            return True
+        if now >= exchange.nack_open_at:
+            exchange.nack_suppress_streak += 1
+            window = rto * (2.0 ** min(exchange.nack_suppress_streak, 6))
+            exchange.nack_open_at = now + window
+        self.stats.nack_suppressed += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.NACK_SUPPRESSED, self.assoc_id,
+                exchange.seq,
+                info=f"streak={exchange.nack_suppress_streak}"
+                f" tokens={exchange.nack_tokens:.2f}",
+            )
+            self._obs.registry.counter("resilience.nack.suppressed").inc()
+        return False
+
+    def _note_max_rto_timeout(self, exchange: _Exchange) -> bool:
+        """Track consecutive timeouts pinned at ``rto_max_s``; True at K.
+
+        Karn's algorithm discards retransmitted samples, so once every
+        reply is lost or damaged the RTO rides its ceiling and blind
+        full-batch resends can spin there for the whole retry budget.
+        K consecutive ceiling timeouts cue the escape-hatch probe.
+        """
+        threshold = self._probe_threshold()
+        if not threshold or not self.config.adaptive_rto:
+            return False
+        if self.rtt.rto < self.config.rto_max_s - 1e-9:
+            exchange.at_max_streak = 0
+            return False
+        exchange.at_max_streak += 1
+        if exchange.at_max_streak > self.max_rto_streak_peak:
+            self.max_rto_streak_peak = exchange.at_max_streak
+        return exchange.at_max_streak >= threshold
+
+    def _engage_probe(self, exchange: _Exchange, now: float) -> bool:
+        """Enter probe mode; False when the exchange failed instead.
+
+        A second probe episode with no progress since the first means
+        the exchange is structurally stuck — e.g. an on-path relay
+        committed to a damaged S1 and now drops every genuine resend as
+        a mismatch — so probing again cannot help: fail terminally and
+        let a fresh exchange (or re-bootstrap) replace it.
+        """
+        marker = (exchange.state.value, len(exchange.acked))
+        if exchange.probe_episodes and exchange.probe_marker == marker:
+            self._fail_exchange(exchange, now, reason="rto-escape")
+            return False
+        exchange.probe_episodes += 1
+        exchange.probe_marker = marker
+        exchange.probing = True
+        exchange.probe_sends = 0
+        return True
+
+    def _probe_response(
+        self, exchange: _Exchange, packet: A1Packet, now: float
+    ) -> list[bytes]:
+        """A repeated A1 answering an escape-hatch probe.
+
+        The verifier repeats the identical A1 for a retransmitted S1, so
+        matching the committed ack element and S1 echo authenticates the
+        reply without touching chain state (the element was consumed
+        when the original A1 was verified). The round trip is a fresh
+        liveness sample: collapse/reseed the pinned backoff and resume
+        repair at the measured timeout.
+        """
+        committed = exchange.a1_ack_element
+        if (
+            committed is None
+            or packet.ack_element != committed.value
+            or packet.echo_sig_element != exchange.s1_element.value
+        ):
+            return []
+        sample = max(0.0, now - exchange.probe_sent_at)
+        if self.config.adaptive_rto:
+            self.rtt.clear_backoff(sample)
+            self.stats.rtt_samples += 1
+        if self.link is not None:
+            self.link.on_rtt_sample(sample)
+        self._exchange_alive(exchange)
+        self.stats.probe_recoveries += 1
+        out = self._retransmit_s2(exchange)
+        exchange.rtt_clean = False
+        exchange.deadline = now + self._current_timeout()
+        self.stats.packets_sent += len(out)
+        if out:
+            self.stats.retransmits += 1
+            self.stats.retransmits_timeout += 1
+        if self.link is not None:
+            self.link.on_packets_sent(len(out))
+            if out:
+                self.link.on_timeout_retransmit()
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.PROBE_RECOVERY, self.assoc_id,
+                exchange.seq,
+                info=f"rtt={sample:.4f} rto={self.rtt.rto:.4f}"
+                f" resent={len(out)}",
+            )
+            self._obs.registry.counter(
+                "resilience.rto.probe_recoveries"
+            ).inc()
+        return out
+
+    def _exchange_alive(self, exchange: _Exchange) -> None:
+        """An authenticated reply arrived: reset the escape-hatch state."""
+        exchange.at_max_streak = 0
+        exchange.probing = False
+        exchange.probe_sends = 0
 
     def _build_s2_packets(self, exchange: _Exchange) -> list[bytes]:
         packets = []
@@ -595,14 +852,16 @@ class SignerSession:
                 )
         self._exchanges.pop(exchange.seq, None)
 
-    def _fail_exchange(self, exchange: _Exchange, now: float = 0.0) -> None:
+    def _fail_exchange(
+        self, exchange: _Exchange, now: float = 0.0, reason: str = "retry-cap"
+    ) -> None:
         exchange.state = ExchangeState.FAILED
         if self.link is not None:
             self.link.on_exchange_failed(now)
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.EXCHANGE_FAILED, self.assoc_id,
-                exchange.seq, info=f"retry-cap retries={exchange.retries}",
+                exchange.seq, info=f"{reason} retries={exchange.retries}",
             )
             self._obs.registry.counter("signer.exchanges_failed").inc()
         # The next exchange starts from the RTO estimate, not this one's
@@ -623,7 +882,7 @@ class SignerSession:
                 assoc_id=self.assoc_id,
                 seq=exchange.seq,
                 retries=exchange.retries,
-                reason="retry-cap",
+                reason=reason,
                 messages=[
                     message
                     for index, message in enumerate(exchange.messages)

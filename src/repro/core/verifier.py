@@ -66,6 +66,9 @@ class _VerifierExchange:
     ack_secrets: list[bytes] = field(default_factory=list)
     nack_secrets: list[bytes] = field(default_factory=list)
     amt: AckTree | None = None
+    #: Damaged arrivals per message index, for exponential duplicate-
+    #: nack suppression (the verifier's half of the storm damper).
+    nack_counts: dict[int, int] = field(default_factory=dict)
 
     @property
     def buffered_bytes(self) -> int:
@@ -108,6 +111,8 @@ class VerifierSession:
         self.rejected_s1 = 0
         self.rejected_s2 = 0
         self.refused_s1 = 0
+        #: Duplicate nacks withheld by the storm damper (PROTOCOL.md §12).
+        self.nacks_suppressed = 0
 
     # -- packet handlers -------------------------------------------------------
 
@@ -263,6 +268,8 @@ class VerifierSession:
             # Already acked this index with a genuine message; a later
             # corrupted duplicate must not trigger a contradictory nack.
             return None
+        if not valid and not self._admit_nack(exchange, packet.msg_index, now):
+            return None
         a2 = self._build_a2(exchange, packet.msg_index, valid)
         if a2 is not None and self._obs.enabled:
             self._obs.tracer.emit(
@@ -294,6 +301,31 @@ class VerifierSession:
                 packet.seq, msg_index=packet.msg_index, info=reason,
             )
             self._obs.registry.counter("verifier.s2_rejected").inc()
+
+    def _admit_nack(
+        self, exchange: _VerifierExchange, msg_index: int, now: float
+    ) -> bool:
+        """Exponential duplicate-nack suppression (storm damper).
+
+        Under a corruption storm the same damaged index keeps arriving;
+        answering every arrival with a fresh nack fuels the signer's
+        instant-retransmit loop from this side too. The n-th damaged
+        arrival of one index is only nacked when n is a power of two
+        (1, 2, 4, 8, ...), so repair stays possible while the nack rate
+        decays exponentially.
+        """
+        count = exchange.nack_counts.get(msg_index, 0) + 1
+        exchange.nack_counts[msg_index] = count
+        if count & (count - 1) == 0:
+            return True
+        self.nacks_suppressed += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.NACK_SUPPRESSED, self.assoc_id,
+                exchange.seq, msg_index=msg_index, info=f"arrival={count}",
+            )
+            self._obs.registry.counter("verifier.nacks_suppressed").inc()
+        return False
 
     def _accept_key_disclosure(self, exchange: _VerifierExchange, packet: S2Packet) -> bool:
         """Validate the disclosed MAC key against the chain."""

@@ -50,6 +50,11 @@ _RTT_GAIN = 1 / 8
 #: Loss events needed before :meth:`LinkHealth.loss_split` claims a
 #: cause; below it the split is reported but flagged unconfident.
 MIN_SPLIT_EVENTS = 4
+#: Default half-life for aging a carried-over loss estimate: a link
+#: that recovered overnight should not seed its next association
+#: pessimistically, so the stale estimate halves every interval since
+#: the last controller update.
+LOSS_DECAY_HALF_LIFE_S = 60.0
 
 
 class LinkHealth:
@@ -76,6 +81,7 @@ class LinkHealth:
         "rttvar",
         "loss_ewma",
         "loss_updates",
+        "loss_updated_at",
         "latency",
         "_registry",
     )
@@ -108,6 +114,9 @@ class LinkHealth:
         #: association's controller seeds from it.
         self.loss_ewma = 0.0
         self.loss_updates = 0
+        #: When the estimate was last refreshed (simulated/epoch time as
+        #: supplied by the caller); ``None`` until the first timed update.
+        self.loss_updated_at: float | None = None
         #: Exchange delivery latency (submit → all messages acked).
         self.latency = Histogram(f"link.{peer}.delivery_latency_s", DEFAULT_BOUNDS)
         self._registry = registry
@@ -150,10 +159,38 @@ class LinkHealth:
         self.exchanges_failed += 1
         self._publish(now)
 
-    def update_loss_estimate(self, estimate: float) -> None:
-        """Adopt a controller's per-tick loss EWMA as the link's state."""
+    def update_loss_estimate(self, estimate: float, now: float | None = None) -> None:
+        """Adopt a controller's per-tick loss EWMA as the link's state.
+
+        ``now`` timestamps the update so :meth:`loss_estimate` can age
+        it later; omitting it keeps the raw, undecaying behaviour.
+        """
         self.loss_ewma = estimate
         self.loss_updates += 1
+        if now is not None:
+            self.loss_updated_at = now
+
+    def loss_estimate(
+        self,
+        now: float | None = None,
+        half_life_s: float = LOSS_DECAY_HALF_LIFE_S,
+    ) -> float:
+        """The carried-over loss estimate, time-decayed to ``now``.
+
+        Loss evidence goes stale: a link that was congested an hour ago
+        says little about the link now, and seeding a fresh association
+        from the stale value pins it in the loss-protective mode it no
+        longer needs. The estimate halves every ``half_life_s`` since
+        the last update; with no timestamped update (or no ``now``) the
+        raw value is returned unchanged. Pure — the stored EWMA is not
+        modified, so repeated reads don't compound the decay.
+        """
+        if now is None or self.loss_updated_at is None:
+            return self.loss_ewma
+        age = now - self.loss_updated_at
+        if age <= 0:
+            return self.loss_ewma
+        return self.loss_ewma * 0.5 ** (age / half_life_s)
 
     # -- the classifier --------------------------------------------------------
 
@@ -227,6 +264,7 @@ class LinkHealth:
             "srtt_s": self.srtt,
             "rttvar_s": self.rttvar if self.srtt is not None else None,
             "loss_ewma": self.loss_ewma,
+            "loss_updated_at": self.loss_updated_at,
             "loss_congestion": congestion,
             "loss_corruption": corruption,
             "split_confident": self.split_confident,

@@ -44,6 +44,10 @@ class EventKind(enum.Enum):
     RETRANSMIT = "retransmit"
     RTO_UPDATE = "rto-update"
     BACKOFF = "backoff"
+    # Storm-proofing (PROTOCOL.md §12): nack damper + RTO escape hatch
+    NACK_SUPPRESSED = "nack-suppressed"
+    RTO_PROBE = "rto-probe"
+    PROBE_RECOVERY = "probe-recovery"
     EXCHANGE_DONE = "exchange-done"
     EXCHANGE_FAILED = "exchange-failed"
     DEAD_PEER = "dead-peer"

@@ -1,0 +1,138 @@
+"""Bench snapshot ring rotation and drift/trend math.
+
+The tracker keeps a bounded ring of prior generations per bench and
+``scripts/bench_track.py`` flags both single-step regressions and slow
+cumulative drifts over that ring. These tests pin the rotation
+invariants (bounded length, order, legacy-snapshot upgrade) and the
+trend arithmetic with exact series.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from benchmarks import tracker
+
+_BENCH_TRACK = (
+    pathlib.Path(__file__).resolve().parents[2] / "scripts" / "bench_track.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_track", _BENCH_TRACK)
+bench_track = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_track)
+
+
+@pytest.fixture
+def bench_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(tracker, "BENCH_DIR", tmp_path)
+    return tmp_path
+
+
+class TestRingRotation:
+    def test_first_record_has_empty_history(self, bench_dir):
+        payload = tracker.record("demo", metrics={"goodput_bps": 100.0})
+        assert payload["history"] == []
+        assert payload["previous"] is None
+        assert payload["current"]["goodput_bps"] == 100.0
+
+    def test_rotation_appends_oldest_first(self, bench_dir):
+        for value in (1.0, 2.0, 3.0):
+            payload = tracker.record("demo", metrics={"goodput_bps": value})
+        assert [g["goodput_bps"] for g in payload["history"]] == [1.0, 2.0]
+        assert payload["previous"]["goodput_bps"] == 2.0
+        assert payload["current"]["goodput_bps"] == 3.0
+
+    def test_ring_is_bounded(self, bench_dir):
+        generations = tracker.HISTORY_RING + 5
+        for i in range(generations + 1):
+            payload = tracker.record("demo", metrics={"goodput_bps": float(i)})
+        assert len(payload["history"]) == tracker.HISTORY_RING
+        # The ring holds the *most recent* prior generations, in order.
+        assert [g["goodput_bps"] for g in payload["history"]] == [
+            float(i)
+            for i in range(generations - tracker.HISTORY_RING, generations)
+        ]
+
+    def test_legacy_snapshot_upgrades_in_place(self, bench_dir):
+        # A pre-ring snapshot (current+previous, no history) must seed
+        # the ring from its pair instead of dropping the old point.
+        path = bench_dir / "BENCH_demo.json"
+        path.write_text(json.dumps({
+            "schema": tracker.SCHEMA,
+            "bench": "demo",
+            "current": {"goodput_bps": 2.0},
+            "previous": {"goodput_bps": 1.0},
+        }), encoding="utf-8")
+        payload = tracker.record("demo", metrics={"goodput_bps": 3.0})
+        assert [g["goodput_bps"] for g in payload["history"]] == [1.0, 2.0]
+        assert payload["previous"]["goodput_bps"] == 2.0
+
+    def test_corrupt_snapshot_starts_fresh(self, bench_dir):
+        (bench_dir / "BENCH_demo.json").write_text("{not json", encoding="utf-8")
+        payload = tracker.record("demo", metrics={"goodput_bps": 1.0})
+        assert payload["history"] == []
+        assert payload["previous"] is None
+
+
+class TestTrendMath:
+    def test_slope_of_linear_series_is_exact(self):
+        assert bench_track.trend([1.0, 2.0, 3.0, 4.0]) == pytest.approx(1.0)
+        assert bench_track.trend([10.0, 8.0, 6.0]) == pytest.approx(-2.0)
+
+    def test_slope_of_flat_and_degenerate_series(self):
+        assert bench_track.trend([5.0, 5.0, 5.0]) == 0.0
+        assert bench_track.trend([5.0]) == 0.0
+        assert bench_track.trend([]) == 0.0
+
+    def test_series_walks_history_then_current(self):
+        payload = {
+            "history": [{"goodput_bps": 1.0}, {"goodput_bps": 2.0}],
+            "current": {"goodput_bps": 3.0},
+        }
+        assert bench_track.series(payload, "goodput_bps") == [1.0, 2.0, 3.0]
+
+    def test_slow_erosion_is_flagged_even_without_a_cliff(self):
+        # 5% down per step never trips a 15% single-step diff, but four
+        # steps compound past the window tolerance.
+        values = [100.0, 95.0, 90.25, 85.74, 81.45]
+        payload = {
+            "history": [{"goodput_bps": v} for v in values[:-1]],
+            "current": {"goodput_bps": values[-1]},
+        }
+        single_step = bench_track.compare(
+            "demo", {"goodput_bps": values[-2]},
+            {"goodput_bps": values[-1]}, 0.15, False,
+        )
+        assert single_step == []
+        drifts = bench_track.compare_trend("demo", payload, 0.15, False)
+        assert len(drifts) == 1
+        assert "eroded" in drifts[0]
+
+    def test_rising_latency_drift_is_flagged(self):
+        values = [1.0, 1.06, 1.12, 1.19]
+        payload = {
+            "history": [{"latency_s": v} for v in values[:-1]],
+            "current": {"latency_s": values[-1]},
+        }
+        drifts = bench_track.compare_trend("demo", payload, 0.15, False)
+        assert len(drifts) == 1
+        assert "crept up" in drifts[0]
+
+    def test_two_points_are_left_to_the_single_step_diff(self):
+        payload = {
+            "history": [{"goodput_bps": 100.0}],
+            "current": {"goodput_bps": 50.0},
+        }
+        assert bench_track.compare_trend("demo", payload, 0.15, False) == []
+
+    def test_wall_clock_is_excluded_by_default(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        payload = {
+            "history": [{"wall_s": v} for v in values[:-1]],
+            "current": {"wall_s": values[-1]},
+        }
+        assert bench_track.compare_trend("demo", payload, 0.15, False) == []
+        assert bench_track.compare_trend("demo", payload, 0.15, True)

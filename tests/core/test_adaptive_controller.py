@@ -445,6 +445,32 @@ class TestLedgerSeeding:
         ctl.poll(0.0)
         assert link.known
         assert link.loss_ewma == pytest.approx(0.25)
+        # The write-back is timestamped so a later association can age it.
+        assert link.loss_updated_at == 0.0
+
+    def test_seed_ages_a_stale_estimate(self, sha1, rng):
+        # The ledger saw 20% loss long ago; several half-lives later a
+        # fresh association must not start in Merkle on that ghost.
+        signer = make_signer(sha1, rng)
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        ctl = AdaptiveController(signer, CFG, link=link)
+        now = 6 * CFG.loss_half_life_s  # 0.2 / 2**6 = 0.003 < loss_enter
+        assert ctl.seed_from_link(now) is None
+        assert ctl.loss_ewma == pytest.approx(0.2 / 64)
+        assert signer.config.mode is Mode.BASE
+
+    def test_seed_keeps_a_half_fresh_estimate_protective(self, sha1, rng):
+        # One half-life on a heavily lossy link still clears loss_enter:
+        # the decay forgets gradually, not on a cliff.
+        signer = make_signer(sha1, rng)
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        ctl = AdaptiveController(signer, CFG, link=link)
+        applied = ctl.seed_from_link(CFG.loss_half_life_s)
+        assert applied is not None
+        assert applied.mode is Mode.MERKLE
+        assert ctl.loss_ewma == pytest.approx(0.1)
 
 
 class TestCorruptionAwareTuning:

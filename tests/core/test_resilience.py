@@ -88,6 +88,45 @@ class TestRttEstimator:
         assert est.rto == pytest.approx(0.3)
         assert est.srtt == pytest.approx(0.1)  # estimate untouched
 
+    def test_clear_backoff_sample_reseeds_when_pinned(self):
+        # Karn kept the SRTT frozen while the RTO rode its ceiling; the
+        # escape-hatch probe's round trip reseeds the estimator as if
+        # it were the first sample instead of EWMA-folding into a stale
+        # estimate that no longer describes the link.
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01, max_rto_s=4.0)
+        est.observe(1.0)  # srtt=1.0, rto=3.0
+        assert est.backoff() == 4.0  # pinned at the ceiling
+        est.clear_backoff(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(0.3)
+        assert est.samples == 2
+
+    def test_clear_backoff_sample_seeds_empty_estimator(self):
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01)
+        est.clear_backoff(0.2)
+        assert est.srtt == pytest.approx(0.2)
+        assert est.samples == 1
+        assert est.rto == pytest.approx(0.6)
+
+    def test_clear_backoff_sample_folds_in_below_ceiling(self):
+        # Not pinned: the sample is an ordinary observation (the SRTT
+        # is still live), and the backoff still collapses.
+        est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.01, max_rto_s=60.0)
+        est.observe(0.1)
+        est.backoff()  # 0.3 -> 0.6, nowhere near the ceiling
+        est.clear_backoff(0.1)
+        assert est.samples == 2
+        assert est.srtt == pytest.approx(0.1)
+        # rttvar tightens (0.05 -> 0.0375): the sample folded in as a
+        # normal observation, and the backoff collapsed with it.
+        assert est.rto == pytest.approx(0.25)
+
+    def test_clear_backoff_sample_validation(self):
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.clear_backoff(-0.1)
+
     def test_min_clamp(self):
         est = RttEstimator(initial_rto_s=1.0, min_rto_s=0.5)
         est.observe(0.001)

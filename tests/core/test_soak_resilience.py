@@ -9,6 +9,8 @@ eventual delivery or clean, observable failure, never a wedge or
 unbounded memory.
 """
 
+import itertools
+
 import pytest
 
 from repro.core.adapter import EndpointAdapter, RelayAdapter
@@ -17,6 +19,9 @@ from repro.core.modes import Mode, ReliabilityMode
 from repro.netsim import Network
 from repro.netsim.faults import FaultSchedule
 from repro.netsim.link import LinkConfig
+
+from tests.regression.corpus import EVENT_BUDGET, TIME_BUDGET_S
+from tests.regression.harness import run_wedge
 
 #: ~16% average loss per hop in correlated bursts, plus duplication —
 #: each of the four packet legs crosses three such hops. Corruption is
@@ -163,3 +168,42 @@ def test_soak_permanent_partition_fails_cleanly():
     stats = s.endpoint.resilience_stats()
     assert stats.dead_peers == 1
     assert stats.exchanges_failed >= 2
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize(
+    "loss_rate,corrupt_rate",
+    list(itertools.product([0.0, 0.1, 0.2], repeat=2)),
+)
+def test_soak_mixed_loss_grid_reaches_terminal_state(loss_rate, corrupt_rate):
+    """Sweep the loss x corruption plane the wedges lived on.
+
+    The regression corpus pins the exact seeds that used to wedge; this
+    soak sweeps the surrounding grid — from a clean link up to 20%
+    loss and 20% corruption per hop — and asserts the storm-proofing
+    invariants hold everywhere on it: every message reaches a terminal
+    verdict within the step budget, no exchange sits pinned at the RTO
+    ceiling past the probe threshold, and the only terminal outcomes
+    are the sanctioned ones.
+    """
+    run = run_wedge(
+        seed=6,
+        mode=Mode.BASE,
+        batch=1,
+        hops=3,
+        loss_rate=loss_rate,
+        corrupt_rate=corrupt_rate,
+    )
+    assert run.done, (
+        f"grid point loss={loss_rate} corrupt={corrupt_rate} left "
+        f"messages unresolved after {run.events} events"
+    )
+    assert run.events <= EVENT_BUDGET
+    assert run.sim_time <= TIME_BUDGET_S
+    assert run.max_rto_streak_peak <= 2  # the escape hatch intervened
+    assert run.failure_reasons <= {"rto-escape", "retry-cap"}
+    if corrupt_rate == 0.0 and loss_rate == 0.0:
+        # A clean link must not trip either defense.
+        assert run.failure_reasons == set()
+        assert run.signer_stats.nack_suppressed == 0
+        assert run.signer_stats.escape_probes == 0

@@ -110,6 +110,64 @@ class TestLinkHealth:
         assert snap["srtt_s"] is None
 
 
+class TestLossAging:
+    """Time-decay of the carried-over loss estimate (PROTOCOL.md §11)."""
+
+    def test_estimate_halves_every_half_life(self):
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        half_life = 60.0
+        assert link.loss_estimate(0.0, half_life) == pytest.approx(0.2)
+        assert link.loss_estimate(60.0, half_life) == pytest.approx(0.1)
+        assert link.loss_estimate(120.0, half_life) == pytest.approx(0.05)
+        # Fractional ages decay continuously, not in steps.
+        assert link.loss_estimate(30.0, half_life) == pytest.approx(
+            0.2 * 0.5**0.5
+        )
+
+    def test_decay_is_pure(self):
+        # Repeated reads must not compound: the stored EWMA is the
+        # source of truth, the decay is computed per read.
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        first = link.loss_estimate(60.0)
+        second = link.loss_estimate(60.0)
+        assert first == second
+        assert link.loss_ewma == pytest.approx(0.2)
+
+    def test_untimestamped_update_never_decays(self):
+        # Callers that don't pass ``now`` keep the raw, undecaying
+        # behaviour (backwards compatible with pre-aging snapshots).
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2)
+        assert link.loss_updated_at is None
+        assert link.loss_estimate(10_000.0) == pytest.approx(0.2)
+
+    def test_read_without_now_returns_raw(self):
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        assert link.loss_estimate() == pytest.approx(0.2)
+
+    def test_clock_skew_returns_raw(self):
+        # ``now`` earlier than the update (clock reset mid-run) must
+        # not inflate the estimate via a negative exponent.
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=100.0)
+        assert link.loss_estimate(50.0) == pytest.approx(0.2)
+
+    def test_fresh_update_resets_the_decay_clock(self):
+        link = LinkHealth("v")
+        link.update_loss_estimate(0.2, now=0.0)
+        link.update_loss_estimate(0.3, now=600.0)
+        assert link.loss_estimate(660.0) == pytest.approx(0.15)
+
+    def test_snapshot_carries_the_timestamp(self):
+        link = LinkHealth("v")
+        assert link.snapshot()["loss_updated_at"] is None
+        link.update_loss_estimate(0.2, now=42.0)
+        assert link.snapshot()["loss_updated_at"] == 42.0
+
+
 class TestHealthLedger:
     def test_create_on_demand_and_persistence(self):
         ledger = HealthLedger()

@@ -1,0 +1,75 @@
+"""The committed wedge-seed corpus (ROADMAP's mixed-loss failure).
+
+Each case is a deterministic netsim scenario — fixed DRBG seed, fixed
+link parameters, adaptive off — that on pre-damper/pre-escape-hatch
+code either wedged at max RTO or degenerated into a nack storm:
+
+- **Relay-poisoned wedges** (3 hops, zero nacks): a corrupted-but-
+  chain-valid S1 wins the race to a relay, which consumes the chain
+  element and commits to the damaged pre-signatures. Every genuine S1
+  resend is then dropped as ``s1-mismatch`` and every S2 as
+  ``s2-bad-payload``, so nothing ever comes back: Karn pins the RTO at
+  ``rto_max_s`` and the signer blindly resends the full batch for the
+  whole retry budget (~290 simulated seconds *per exchange*).
+- **Verifier-poisoned nack storms** (1 hop): the corrupted S1 poisons
+  the verifier's pre-signature buffer instead, so every S2 fails its
+  MAC and is nacked; each honored nack retransmits instantly and
+  pushes the deadline forward, starving the timeout path and the retry
+  cap (observed 106-344 nack-provoked retransmits per run).
+
+The regression test runs every case and asserts terminal progress
+within :data:`EVENT_BUDGET` simulator events — roughly 2x the worst
+post-fix case and well under the pre-fix trajectory (a single wedged
+exchange used to burn the whole budget without finishing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import Mode
+
+#: Simulator-event budget per case. Post-fix the worst corpus case
+#: finishes in ~49k events; pre-fix a wedged run was still going at
+#: 90k+ (time-capped at 900 simulated seconds with exchanges pinned at
+#: max RTO).
+EVENT_BUDGET = 100_000
+#: Simulated-time ceiling per case (the pre-fix wedges never finished
+#: inside it; post-fix the worst case needs ~492 s).
+TIME_BUDGET_S = 900.0
+#: Messages submitted per case.
+MESSAGES = 16
+#: Nack-provoked retransmit ceiling for storm cases: pre-fix runs
+#: recorded 106 (BASE) and 344 (MERKLE) — the damper keeps post-fix
+#: runs in single digits.
+NACK_RETRANSMIT_BOUND = 24
+
+
+@dataclass(frozen=True)
+class WedgeCase:
+    """One seed-pinned mixed-loss scenario from the corpus."""
+
+    name: str
+    mode: Mode
+    batch: int
+    hops: int
+    seed: int
+    #: Pre-fix signature was a nack storm (vs a max-RTO pin); these
+    #: cases additionally assert the damper's counters.
+    storm: bool = False
+    #: Whether the storm case must show suppressed nacks (the damper
+    #: visibly engaging, not just the storm never forming).
+    expect_suppressed: bool = False
+
+
+CASES = [
+    WedgeCase("base-3hop-s3", Mode.BASE, 1, 3, 3),
+    WedgeCase("base-3hop-s5", Mode.BASE, 1, 3, 5),
+    WedgeCase("base-3hop-s6", Mode.BASE, 1, 3, 6),
+    WedgeCase("base-3hop-s7", Mode.BASE, 1, 3, 7),
+    WedgeCase("cumulative-3hop-s6", Mode.CUMULATIVE, 4, 3, 6),
+    WedgeCase("merkle-3hop-s6", Mode.MERKLE, 4, 3, 6),
+    WedgeCase("base-1hop-s1-storm", Mode.BASE, 1, 1, 1,
+              storm=True, expect_suppressed=True),
+    WedgeCase("merkle-1hop-s0-storm", Mode.MERKLE, 4, 1, 0, storm=True),
+]
