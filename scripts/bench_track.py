@@ -39,7 +39,9 @@ BENCH_DIR = REPO_ROOT / "results" / "bench"
 SCHEMA = 1
 
 #: Key-name fragments marking a metric where bigger is better.
-HIGHER_BETTER = ("goodput", "throughput", "delivered", "bps", "ops_per_s")
+HIGHER_BETTER = (
+    "goodput", "throughput", "delivered", "bps", "ops_per_s", "completion",
+)
 #: Key-name fragments marking a metric where smaller is better.
 LOWER_BETTER = ("latency", "elapsed", "ratio", "per_msg", "bytes", "wall")
 

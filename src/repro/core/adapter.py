@@ -135,9 +135,59 @@ class RelayAdapter:
         self.device_profile = device_profile
         self.busy_seconds = 0.0
         self._pending_delay = 0.0
+        #: Journal captured by the last :meth:`crash` (``None`` when the
+        #: crash was unjournaled — a true state-losing failure).
+        self.last_journal: dict | None = None
         node.forward_filter = self._filter
         if device_profile is not None:
             node.processing_delay = self._processing_delay
+
+    # -- churn control (PROTOCOL.md §13) ---------------------------------------
+
+    def crash(self, journal: bool = True) -> dict | None:
+        """Take the relay down mid-run.
+
+        With ``journal=True`` the engine's compact state journal is
+        snapshotted first (the crash-consistent image a real relay
+        would fsync); ``journal=False`` models a relay that loses all
+        state. Either way the node's radio goes dead — in-flight frames
+        already queued on links still arrive at neighbours, but nothing
+        new transits this hop until :meth:`restart`.
+        """
+        self.last_journal = self.engine.snapshot() if journal else None
+        self.node.up = False
+        return self.last_journal
+
+    def restart(self, journal: dict | None = ...) -> RelayEngine:
+        """Bring the relay back, rebuilding from a journal when given.
+
+        ``journal`` defaults to whatever the last :meth:`crash`
+        captured; pass ``None`` explicitly to restart state-less (the
+        engine then leans entirely on its ``forward_unknown`` policy).
+        The restored engine re-enters service in pass-through-until-
+        anchored mode for every journaled exchange.
+        """
+        old = self.engine
+        if journal is ...:
+            journal = self.last_journal
+        now = self.node.simulator.now
+        if journal is not None:
+            self.engine = RelayEngine.restore(
+                old._hash,
+                journal,
+                config=old.config,
+                obs=old._obs,
+                name=old.name,
+                ledger=old.ledger,
+                now=now,
+            )
+        else:
+            self.engine = RelayEngine(
+                old._hash, old.config, obs=old._obs, name=old.name,
+                ledger=old.ledger,
+            )
+        self.node.up = True
+        return self.engine
 
     def _filter(self, frame: Frame) -> bool:
         if frame.kind != FRAME_KIND:

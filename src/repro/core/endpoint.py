@@ -43,7 +43,11 @@ from repro.core.packets import (
     S2Packet,
     decode_packet,
 )
-from repro.core.resilience import ExchangeFailed, ResilienceStats
+from repro.core.resilience import (
+    ExchangeFailed,
+    PathManager,
+    ResilienceStats,
+)
 from repro.core.signer import ChannelConfig, DeliveryReport, SignerSession
 from repro.core.verifier import DeliveredMessage, VerifierSession
 from repro.crypto.drbg import DRBG
@@ -113,6 +117,30 @@ class EndpointConfig:
     adaptive: bool = False
     #: Controller tuning; ``None`` uses the AdaptiveConfig defaults.
     adaptive_config: AdaptiveConfig | None = None
+    #: Mid-association path failover (PROTOCOL.md §13): attach a
+    #: :class:`~repro.core.resilience.PathManager` and, when a hop is
+    #: classified dead, promote a registered backup path and re-present
+    #: the in-flight S1s through it instead of failing terminally.
+    failover: bool = False
+    #: Per-peer failover budget (see PathManager).
+    max_failovers: int = 8
+    #: Ledger loss-spike trigger: this many timeout retransmits with no
+    #: completed exchange in between classifies the active hop dead and
+    #: fails over early, before the escape hatch exhausts (0 disables
+    #: the spike trigger; escape/dead-peer classification still runs).
+    failover_spike_retransmits: int = 0
+    #: Routing callback invoked as ``(peer, old, new)`` with the demoted
+    #: and promoted :class:`PathCandidate` on every switch — the
+    #: transport layer re-points next-hops here. ``None`` means routing
+    #: is external (e.g. the netsim already reroutes).
+    on_path_switch: Callable | None = None
+    #: Treat a terminal ``rto-escape`` failure as conclusive dead-peer
+    #: evidence (the probe budget proved the path black-holed): trip
+    #: dead-peer handling immediately instead of waiting for
+    #: ``dead_peer_threshold`` consecutive failures, so auto-rebootstrap
+    #: recovers the association instead of letting it die silently.
+    #: Only consulted while dead-peer detection is enabled.
+    escape_is_dead_peer: bool = True
 
     def channel_config(self) -> ChannelConfig:
         return ChannelConfig(
@@ -158,6 +186,10 @@ class Association:
     down: bool = False
     #: Feedback controller over the signer's channel (adaptive mode).
     controller: AdaptiveController | None = None
+    #: Loss-spike watermark: (timeout retransmits, completed exchanges)
+    #: at the last spike check, so the trigger measures the delta since
+    #: the last completion instead of lifetime totals.
+    spike_marker: tuple = (0, 0)
 
 
 @dataclass
@@ -219,6 +251,14 @@ class AlphaEndpoint:
             self.obs.registry if self.obs.enabled else None
         )
         self._track_links = self.config.adaptive or self.obs.enabled
+        #: Ranked alternate relay paths per peer (PROTOCOL.md §13).
+        #: Populated by the application/transport via
+        #: ``endpoint.paths.register(peer, path_id, hops)``.
+        self.paths: PathManager | None = (
+            PathManager(self.config.max_failovers)
+            if self.config.failover
+            else None
+        )
 
     # -- association management ------------------------------------------------
 
@@ -438,6 +478,15 @@ class AlphaEndpoint:
             node=self.name,
             link=link,
         )
+        if self.paths is not None:
+            # Terminal rto-escape interception: the signer consults this
+            # before failing an exchange; a successful path switch lets
+            # it re-present the in-flight S1s instead (it calls its own
+            # represent(), so the hook only moves the route).
+            assoc.signer.escape_hook = (
+                lambda cause, hook_now, a=assoc:
+                    self._switch_path(a, hook_now, cause)
+            )
         if self.config.adaptive:
             assoc.controller = AdaptiveController(
                 assoc.signer,
@@ -618,21 +667,109 @@ class AlphaEndpoint:
             out.replies.append((assoc.peer, payload))
         for report in assoc.signer.drain_reports():
             out.reports.append((assoc.peer, report))
+        escaped = False
         for failure in assoc.signer.drain_failures():
             out.failures.append((assoc.peer, failure))
-        self._check_dead_peer(assoc, now, out)
+            if failure.reason == "rto-escape":
+                escaped = True
+        self._check_loss_spike(assoc, now, out)
+        self._check_dead_peer(
+            assoc, now, out,
+            force=escaped and self.config.escape_is_dead_peer,
+        )
 
-    def _check_dead_peer(
+    def _check_loss_spike(
         self, assoc: Association, now: float, out: EndpointOutput
     ) -> None:
-        """Declare the peer dead after too many consecutive failures."""
+        """Ledger loss-spike hop-death classifier (PROTOCOL.md §13).
+
+        A burst of timeout retransmits with zero completions since the
+        last check means every packet class is vanishing on the active
+        path — classify the hop dead and fail over early rather than
+        waiting for the escape hatch to burn its probe budget.
+        """
+        if self.paths is None or assoc.retired or assoc.down:
+            return
+        signer = assoc.signer
+        timeouts = signer.stats.retransmits_timeout
+        completed = signer.exchanges_completed
+        last_timeouts, last_completed = assoc.spike_marker
+        if completed > last_completed:
+            # Forward progress: the active path works; clear its mark.
+            assoc.spike_marker = (timeouts, completed)
+            self.paths.note_success(assoc.peer)
+            return
+        threshold = self.config.failover_spike_retransmits
+        if threshold <= 0 or timeouts - last_timeouts < threshold:
+            return
+        assoc.spike_marker = (timeouts, completed)
+        self._attempt_failover(assoc, now, out, cause="loss-spike")
+
+    def _attempt_failover(
+        self, assoc: Association, now: float, out: EndpointOutput, cause: str
+    ) -> bool:
+        """Switch paths and re-present in-flight S1s; False if no path."""
+        if self.paths is None or assoc.retired or assoc.down:
+            return False
+        if not self._switch_path(assoc, now, cause):
+            return False
+        assoc.signer.consecutive_failures = 0
+        for payload in assoc.signer.represent(now):
+            out.replies.append((assoc.peer, payload))
+        return True
+
+    def _switch_path(
+        self, assoc: Association, now: float, cause: str
+    ) -> bool:
+        """Promote the best backup path for ``assoc``'s peer."""
+        paths = self.paths
+        if paths is None or not paths.candidates(assoc.peer):
+            return False
+        old = paths.active(assoc.peer)
+        new = paths.fail_over(assoc.peer)
+        if new is None:
+            self.stats.failovers_exhausted += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    now, self.name, EventKind.FAILOVER_EXHAUSTED,
+                    assoc.assoc_id,
+                    info=f"cause={cause} spent={paths.failover_count(assoc.peer)}",
+                )
+                self.obs.registry.counter("resilience.failover.exhausted").inc()
+            return False
+        self.stats.failovers += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                now, self.name, EventKind.FAILOVER, assoc.assoc_id,
+                info=f"cause={cause} from={old.path_id} to={new.path_id}",
+            )
+            self.obs.registry.counter("resilience.failover.switches").inc()
+        if self.config.on_path_switch is not None:
+            self.config.on_path_switch(assoc.peer, old, new)
+        return True
+
+    def _check_dead_peer(
+        self,
+        assoc: Association,
+        now: float,
+        out: EndpointOutput,
+        force: bool = False,
+    ) -> None:
+        """Declare the peer dead after too many consecutive failures.
+
+        ``force`` (terminal rto-escape with ``escape_is_dead_peer``)
+        skips the consecutive-failure count — the probe budget already
+        proved the path black-holed — but still respects the
+        ``dead_peer_threshold <= 0`` master switch.
+        """
         threshold = self.config.dead_peer_threshold
-        if (
-            threshold <= 0
-            or assoc.down
-            or assoc.retired
-            or assoc.signer.consecutive_failures < threshold
-        ):
+        if threshold <= 0 or assoc.down or assoc.retired:
+            return
+        if assoc.signer.consecutive_failures < threshold and not force:
+            return
+        # Hop death is not peer death: with a backup path registered,
+        # move the association instead of declaring the peer gone.
+        if self._attempt_failover(assoc, now, out, cause="dead-peer"):
             return
         assoc.down = True
         self.stats.dead_peers += 1

@@ -111,6 +111,15 @@ class _RelayExchange:
     s1_element: ChainElement
     key_value: bytes | None = None
     a1_seen: bool = False
+    #: The A1's ack-chain element, kept for the crash journal: a
+    #: restarted relay authenticates the verifier's repeated A1 against
+    #: this value (the element itself is consumed and can never
+    #: re-verify on-chain).
+    a1_element: ChainElement | None = None
+    #: Set on a re-anchored exchange whose pre-crash A1 buffers were
+    #: lost: the journaled ``(index, value)`` the next witnessed A1 must
+    #: match to re-populate the pre-ack state.
+    expected_a1: tuple[int, bytes] | None = None
     pre_acks: list[bytes] = field(default_factory=list)
     pre_nacks: list[bytes] = field(default_factory=list)
     amt_root: bytes | None = None
@@ -155,6 +164,11 @@ class _ChannelObserver:
         # their in-flight packets degrade to unverified forwarding
         # instead of being censored by the strict unknown-exchange drop.
         self.evicted: dict[int, None] = {}
+        #: Journal records of pre-crash exchanges awaiting re-anchor
+        #: (seq -> compact record). Until the committed S1 is witnessed
+        #: again, their packets pass through unverified; a recovering
+        #: entry that outlives the exchange TTL degrades to a tombstone.
+        self.recovering: dict[int, dict] = {}
         self.s1_allowance = config.initial_s1_allowance
 
     def prune(self, now: float) -> None:
@@ -174,15 +188,29 @@ class _ChannelObserver:
             for seq in expired:
                 self._evict(seq, now, "ttl")
                 self.resilience.evictions_ttl += 1
+            # A journal record nobody re-anchored within the TTL is a
+            # dead or completed exchange; degrade it to a tombstone so a
+            # straggler packet is still never censored.
+            stale = [
+                seq
+                for seq, record in self.recovering.items()
+                if now - record["restored_at"] > ttl
+            ]
+            for seq in stale:
+                del self.recovering[seq]
+                self._remember_tombstone(seq)
         self._enforce_byte_cap(now)
 
-    def _evict(self, seq: int, now: float = 0.0, reason: str = "") -> None:
-        """Drop buffered state for ``seq``, leaving a tombstone."""
-        del self.exchanges[seq]
+    def _remember_tombstone(self, seq: int) -> None:
         self.evicted.pop(seq, None)
         self.evicted[seq] = None
         while len(self.evicted) > self.config.evicted_memory:
             del self.evicted[next(iter(self.evicted))]
+
+    def _evict(self, seq: int, now: float = 0.0, reason: str = "") -> None:
+        """Drop buffered state for ``seq``, leaving a tombstone."""
+        del self.exchanges[seq]
+        self._remember_tombstone(seq)
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.RELAY_EVICT, self.assoc_id, seq,
@@ -231,7 +259,153 @@ class _ChannelObserver:
             self._obs.registry.counter("relay.tombstone_forwards").inc()
         return RelayDecision(True, reason)
 
+    def _passthrough(self, seq: int, now: float, reason: str) -> RelayDecision:
+        """Degraded restart mode: forward a recovering exchange's packet
+        unverified until its S1 re-anchors the journal record."""
+        self.resilience.restore_passthrough += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.RELAY_PASSTHROUGH, self.assoc_id,
+                seq, info=reason,
+            )
+            self._obs.registry.counter("relay.restore_passthrough").inc()
+        return RelayDecision(True, reason)
+
+    # -- crash journal (PROTOCOL.md §13) ---------------------------------------
+
+    def snapshot(self) -> dict:
+        """Compact, JSON-serializable journal of this channel.
+
+        Per exchange only the anchors are kept — the committed S1 chain
+        element, a digest pinning the committed pre-signatures, and the
+        A1 ack element once seen — never the pre-signature/pre-ack
+        buffers themselves, so the journal stays O(digest) per exchange
+        where the live buffer is O(n · h).
+        """
+        records: list[dict] = []
+        for seq in sorted(set(self.exchanges) | set(self.recovering)):
+            exchange = self.exchanges.get(seq)
+            if exchange is None:
+                # Still recovering from the previous crash: re-journal
+                # the record as-is (minus the restart timestamp).
+                record = {
+                    k: v for k, v in self.recovering[seq].items()
+                    if k != "restored_at"
+                }
+                records.append(record)
+                continue
+            record = {
+                "seq": seq,
+                "mode": int(exchange.mode),
+                "reliable": exchange.reliable,
+                "message_count": exchange.message_count,
+                "s1_index": exchange.s1_element.index,
+                "s1_value": exchange.s1_element.value.hex(),
+                "s1_digest": self._hash.digest(
+                    b"".join(exchange.pre_signatures), label="relay-journal"
+                ).hex(),
+            }
+            if exchange.a1_seen and exchange.a1_element is not None:
+                record["a1_index"] = exchange.a1_element.index
+                record["a1_value"] = exchange.a1_element.value.hex()
+            elif exchange.expected_a1 is not None:
+                record["a1_index"] = exchange.expected_a1[0]
+                record["a1_value"] = exchange.expected_a1[1].hex()
+            if exchange.key_value is not None:
+                record["key_value"] = exchange.key_value.hex()
+            records.append(record)
+        return {
+            "signer": self.signer_name,
+            "sig_trusted": [
+                self.sig_verifier.trusted.index,
+                self.sig_verifier.trusted.value.hex(),
+            ],
+            "ack_trusted": [
+                self.ack_verifier.trusted.index,
+                self.ack_verifier.trusted.value.hex(),
+            ],
+            "s1_allowance": self.s1_allowance,
+            "evicted": list(self.evicted),
+            "exchanges": records,
+        }
+
+    def apply_journal(self, record: dict, now: float) -> None:
+        """Load a :meth:`snapshot` into a freshly constructed channel.
+
+        The channel must have been built with the journaled trusted
+        positions as its anchors; this restores the allowance, the
+        eviction ledger, and the recovering-exchange records.
+        """
+        self.s1_allowance = record["s1_allowance"]
+        for seq in record["evicted"]:
+            self._remember_tombstone(seq)
+        for entry in record["exchanges"]:
+            self.recovering[entry["seq"]] = dict(entry, restored_at=now)
+
+    def _reanchor_s1(
+        self, record: dict, packet: S1Packet, wire_size: int, now: float
+    ) -> RelayDecision:
+        """Re-anchor a journaled exchange from a witnessed S1.
+
+        The journal pins the exact S1 the pre-crash relay committed to
+        (chain element + pre-signature digest); the chain element itself
+        was consumed before the crash and can never re-verify, so the
+        journal *is* the authentication. A matching retransmission
+        rebuilds the full buffered exchange from the packet; anything
+        else claiming this seq is dropped exactly as the live relay
+        would have dropped a mismatched resend.
+        """
+        if wire_size > self.s1_allowance:
+            return RelayDecision(False, "s1-over-allowance")
+        digest = self._hash.digest(
+            b"".join(packet.pre_signatures), label="relay-journal"
+        )
+        same = (
+            packet.chain_index == record["s1_index"]
+            and packet.chain_element == bytes.fromhex(record["s1_value"])
+            and digest.hex() == record["s1_digest"]
+            and int(packet.mode) == record["mode"]
+            and packet.reliable == record["reliable"]
+            and packet.message_count == record["message_count"]
+        )
+        if not same:
+            return RelayDecision(False, "s1-journal-mismatch")
+        exchange = _RelayExchange(
+            seq=packet.seq,
+            mode=packet.mode,
+            reliable=packet.reliable,
+            message_count=packet.message_count,
+            pre_signatures=list(packet.pre_signatures),
+            s1_element=ChainElement(packet.chain_index, packet.chain_element),
+            last_seen=now,
+        )
+        if record.get("key_value"):
+            exchange.key_value = bytes.fromhex(record["key_value"])
+        if record.get("a1_value") is not None:
+            exchange.expected_a1 = (
+                record["a1_index"],
+                bytes.fromhex(record["a1_value"]),
+            )
+        del self.recovering[packet.seq]
+        self.evicted.pop(packet.seq, None)
+        self.exchanges[packet.seq] = exchange
+        self.resilience.relay_reanchors += 1
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                now, self._node, EventKind.RELAY_REANCHOR, self.assoc_id,
+                packet.seq, info=f"s1 index={packet.chain_index}",
+            )
+            self._obs.registry.counter("relay.reanchors").inc()
+        while len(self.exchanges) > self.config.max_buffered_exchanges:
+            self._evict(self._least_recent(), now, "entry-cap")
+            self.resilience.evictions_capacity += 1
+        self._enforce_byte_cap(now)
+        return RelayDecision(True, "s1-reanchored", verified=True)
+
     def on_s1(self, packet: S1Packet, wire_size: int, now: float = 0.0) -> RelayDecision:
+        record = self.recovering.get(packet.seq)
+        if record is not None:
+            return self._reanchor_s1(record, packet, wire_size, now)
         if wire_size > self.s1_allowance:
             return RelayDecision(False, "s1-over-allowance")
         existing = self.exchanges.get(packet.seq)
@@ -291,6 +465,8 @@ class _ChannelObserver:
         element = ChainElement(packet.ack_index, packet.ack_element)
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.recovering:
+                return self._passthrough(packet.seq, now, "a1-recovering")
             if packet.seq in self.evicted:
                 return self._tombstone(packet.seq, now, "a1-evicted-unverified")
             if self.config.strict:
@@ -301,12 +477,36 @@ class _ChannelObserver:
             # Duplicate A1 (answering an S1 retransmission): the chain
             # element was already consumed, just pass it along.
             return RelayDecision(True, "a1-retransmit")
+        if exchange.expected_a1 is not None and (
+            (packet.ack_index, packet.ack_element) == exchange.expected_a1
+            and packet.echo_sig_element == exchange.s1_element.value
+        ):
+            # Re-anchored exchange: the verifier's repeated A1 matches
+            # the journaled ack element (consumed pre-crash, so it can
+            # never re-verify on-chain) — re-populate the pre-ack
+            # buffers the crash lost.
+            exchange.expected_a1 = None
+            exchange.a1_seen = True
+            exchange.a1_element = element
+            exchange.pre_acks = list(packet.pre_acks)
+            exchange.pre_nacks = list(packet.pre_nacks)
+            exchange.amt_root = packet.amt_root
+            self.s1_allowance = min(
+                self.s1_allowance * 2, self.config.max_s1_allowance
+            )
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.RELAY_REANCHOR, self.assoc_id,
+                    packet.seq, info=f"a1 index={packet.ack_index}",
+                )
+            return RelayDecision(True, "a1-rejournaled", verified=True)
         if not self.ack_verifier.verify(element):
             if not self.ack_verifier.consume_derived(element):
                 return RelayDecision(False, "a1-bad-chain-element")
         if packet.echo_sig_element != exchange.s1_element.value:
             return RelayDecision(False, "a1-wrong-echo")
         exchange.a1_seen = True
+        exchange.a1_element = element
         exchange.pre_acks = list(packet.pre_acks)
         exchange.pre_nacks = list(packet.pre_nacks)
         exchange.amt_root = packet.amt_root
@@ -317,13 +517,21 @@ class _ChannelObserver:
     def on_s2(self, packet: S2Packet, now: float = 0.0) -> RelayDecision:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.recovering:
+                return self._passthrough(packet.seq, now, "s2-recovering")
             if packet.seq in self.evicted:
                 return self._tombstone(packet.seq, now, "s2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "s2-unknown-exchange")
             return RelayDecision(True, "s2-unverified")
         self._touch(exchange, now)
-        if self.config.require_a1_for_s2 and not exchange.a1_seen:
+        if (
+            self.config.require_a1_for_s2
+            and not exchange.a1_seen
+            and exchange.expected_a1 is None
+        ):
+            # A journaled A1 (expected_a1 pending re-journal) counts as
+            # solicited: the pre-crash relay witnessed the willingness.
             return RelayDecision(False, "s2-unsolicited")
         if exchange.key_value is None:
             disclosed = ChainElement(packet.disclosed_index, packet.disclosed_element)
@@ -351,12 +559,19 @@ class _ChannelObserver:
     def on_a2(self, packet: A2Packet, now: float = 0.0) -> RelayDecision:
         exchange = self.exchanges.get(packet.seq)
         if exchange is None:
+            if packet.seq in self.recovering:
+                return self._passthrough(packet.seq, now, "a2-recovering")
             if packet.seq in self.evicted:
                 return self._tombstone(packet.seq, now, "a2-evicted-unverified")
             if self.config.strict:
                 return RelayDecision(False, "a2-unknown-exchange")
             return RelayDecision(True, "a2-unverified")
         self._touch(exchange, now)
+        if exchange.expected_a1 is not None and not exchange.pre_acks:
+            # Re-anchored but the repeated A1 (with the pre-ack buffers)
+            # has not come past yet: an A2 racing it cannot be judged,
+            # so it passes unverified rather than being censored.
+            return self._passthrough(packet.seq, now, "a2-prejournal")
         if packet.disclosed_index % 2:
             return RelayDecision(False, "a2-odd-position")
         if exchange.ack_key_value is None:
@@ -504,6 +719,110 @@ class RelayEngine:
                 assoc_id=assoc_id,
             ),
         )
+
+    def snapshot(self) -> dict:
+        """Compact crash journal of every association (PROTOCOL.md §13).
+
+        JSON-serializable and small by construction: committed chain
+        positions, per-exchange anchors (chain element + pre-signature
+        digest + A1 ack element), the S1 allowance, and the eviction
+        ledger — never the buffered pre-signatures themselves. Feed it
+        to :meth:`restore` to rebuild the engine after a crash.
+        """
+        return {
+            "format": 1,
+            "name": self.name,
+            "associations": [
+                {
+                    "assoc_id": assoc_id,
+                    "initiator": assoc.initiator,
+                    "responder": assoc.responder,
+                    "hash_name": assoc.hash_name,
+                    "forward": assoc.forward_channel.snapshot(),
+                    "reverse": assoc.reverse_channel.snapshot(),
+                }
+                for assoc_id, assoc in sorted(self._associations.items())
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        hash_fn: HashFunction,
+        journal: dict,
+        config: RelayConfig | None = None,
+        obs: Observability | None = None,
+        name: str = "",
+        ledger: HealthLedger | None = None,
+        now: float = 0.0,
+    ) -> "RelayEngine":
+        """Rebuild an engine from a :meth:`snapshot` journal.
+
+        The restored relay starts in *pass-through-until-anchored* mode:
+        chain verifiers resume at their committed positions (so new
+        exchanges verify normally), tombstones survive (eviction still
+        never censors), and each journaled exchange forwards unverified
+        until its committed S1 is witnessed again and re-anchors it.
+        """
+        if journal.get("format") != 1:
+            raise ValueError(f"unknown relay journal format: {journal.get('format')!r}")
+        engine = cls(
+            hash_fn,
+            config=config,
+            obs=obs,
+            name=name or journal.get("name", ""),
+            ledger=ledger,
+        )
+        recovering = 0
+        for record in journal["associations"]:
+            assoc_id = record["assoc_id"]
+            assoc = _RelayAssociation(
+                initiator=record["initiator"],
+                responder=record["responder"],
+                hash_name=record["hash_name"],
+                forward_channel=engine._restore_channel(
+                    assoc_id, record["forward"], now
+                ),
+                reverse_channel=engine._restore_channel(
+                    assoc_id, record["reverse"], now
+                ),
+            )
+            engine._associations[assoc_id] = assoc
+            pending = len(assoc.forward_channel.recovering) + len(
+                assoc.reverse_channel.recovering
+            )
+            recovering += pending
+            if engine._obs.enabled:
+                engine._obs.tracer.emit(
+                    now, engine.name, EventKind.RELAY_RESTORED, assoc_id,
+                    info=f"recovering={pending} tombstones="
+                    f"{len(assoc.forward_channel.evicted) + len(assoc.reverse_channel.evicted)}",
+                )
+        engine.resilience.relay_restores += 1
+        if engine._obs.enabled:
+            engine._obs.registry.counter("relay.restores").inc()
+        return engine
+
+    def _restore_channel(
+        self, assoc_id: int, record: dict, now: float
+    ) -> _ChannelObserver:
+        channel = _ChannelObserver(
+            self._hash,
+            record["signer"],
+            ChainElement(
+                record["sig_trusted"][0], bytes.fromhex(record["sig_trusted"][1])
+            ),
+            ChainElement(
+                record["ack_trusted"][0], bytes.fromhex(record["ack_trusted"][1])
+            ),
+            self.config,
+            resilience=self.resilience,
+            obs=self._obs,
+            node=self.name,
+            assoc_id=assoc_id,
+        )
+        channel.apply_journal(record, now)
+        return channel
 
     def handle(self, data: bytes, src: str, dst: str, now: float) -> RelayDecision:
         """Decide whether to forward one transit packet."""

@@ -181,6 +181,23 @@ class ResilienceStats:
     corrupt_drops: int = 0
     #: Datagrams whose processing raised out of the wire parser.
     malformed_drops: int = 0
+    #: Mid-association path failovers: the endpoint classified a hop
+    #: dead and switched the association to a ranked backup path.
+    failovers: int = 0
+    #: Failover attempts that found no usable backup path (budget spent
+    #: or no alternates registered) and fell back to terminal handling.
+    failovers_exhausted: int = 0
+    #: In-flight exchanges re-presented (cached S1 resent) through a
+    #: freshly promoted path so unconsumed chain elements are not burned.
+    s1_representations: int = 0
+    #: Relay engines rebuilt from a crash journal (snapshot/restore).
+    relay_restores: int = 0
+    #: Journaled exchanges a restarted relay re-anchored from the next
+    #: witnessed S1/A1 pair, returning them to verified forwarding.
+    relay_reanchors: int = 0
+    #: Packets of journaled-but-not-yet-re-anchored exchanges a restarted
+    #: relay forwarded unverified (pass-through-until-anchored mode).
+    restore_passthrough: int = 0
 
     def merge(self, other: "ResilienceStats") -> "ResilienceStats":
         """Fold ``other`` into this block, mutating it.
@@ -215,3 +232,101 @@ class ResilienceStats:
 
     def total(self) -> int:
         return sum(self.as_dict().values())
+
+
+@dataclass
+class PathCandidate:
+    """One ranked relay path toward a peer.
+
+    ``hops`` names the relays in order (endpoint-exclusive); it is
+    opaque to the protocol layer — the routing/transport callback
+    interprets it when a switch happens.
+    """
+
+    path_id: str
+    hops: tuple[str, ...] = ()
+    #: Times this path was demoted by a failover (its hop was classified
+    #: dead while the path was active). Ranks re-promotion: a healed
+    #: primary is retried before a twice-failed backup.
+    failures: int = 0
+    #: Times this path was promoted to active.
+    switches: int = 0
+
+
+class PathManager:
+    """Ranked alternate relay paths per peer (PROTOCOL.md §13).
+
+    ALPHA pins one hash-chain association to one relay path, so a dead
+    hop strands the association unless the endpoint can move it. The
+    manager holds the candidate set, tracks which path is active, and on
+    :meth:`fail_over` demotes the active path and promotes the best
+    alternate (fewest failures, then registration order). A bounded
+    per-peer failover budget keeps a flapping mesh from ping-ponging
+    forever; once spent, failover reports exhaustion and terminal
+    handling (dead-peer / re-bootstrap) takes over.
+    """
+
+    def __init__(self, max_failovers: int = 8) -> None:
+        if max_failovers < 1:
+            raise ValueError("need at least one failover in the budget")
+        self.max_failovers = max_failovers
+        self._paths: dict[str, list[PathCandidate]] = {}
+        self._active: dict[str, int] = {}
+        self._spent: dict[str, int] = {}
+
+    def register(
+        self, peer: str, path_id: str, hops: tuple[str, ...] = ()
+    ) -> PathCandidate:
+        """Add a candidate path; the first registered becomes active."""
+        candidates = self._paths.setdefault(peer, [])
+        if any(c.path_id == path_id for c in candidates):
+            raise ValueError(f"duplicate path {path_id!r} for {peer!r}")
+        candidate = PathCandidate(path_id=path_id, hops=tuple(hops))
+        candidates.append(candidate)
+        if peer not in self._active:
+            self._active[peer] = 0
+            candidate.switches += 1
+        return candidate
+
+    def candidates(self, peer: str) -> list[PathCandidate]:
+        return list(self._paths.get(peer, []))
+
+    def active(self, peer: str) -> PathCandidate | None:
+        """The path the association currently rides, if any."""
+        candidates = self._paths.get(peer)
+        if not candidates:
+            return None
+        return candidates[self._active[peer]]
+
+    def failover_count(self, peer: str) -> int:
+        return self._spent.get(peer, 0)
+
+    def note_success(self, peer: str) -> None:
+        """An exchange completed: clear the active path's failure mark."""
+        active = self.active(peer)
+        if active is not None:
+            active.failures = 0
+
+    def fail_over(self, peer: str) -> PathCandidate | None:
+        """Demote the active path and promote the best alternate.
+
+        Returns the newly active candidate, or ``None`` when no
+        alternate exists or the per-peer budget is spent (the caller
+        should then fall back to dead-peer / re-bootstrap handling).
+        """
+        candidates = self._paths.get(peer)
+        if not candidates or len(candidates) < 2:
+            return None
+        if self._spent.get(peer, 0) >= self.max_failovers:
+            return None
+        current = self._active[peer]
+        candidates[current].failures += 1
+        best = min(
+            (i for i in range(len(candidates)) if i != current),
+            key=lambda i: (candidates[i].failures, i),
+        )
+        self._active[peer] = best
+        self._spent[peer] = self._spent.get(peer, 0) + 1
+        promoted = candidates[best]
+        promoted.switches += 1
+        return promoted

@@ -241,6 +241,14 @@ class SignerSession:
         #: at ``rto_max_s`` before the escape hatch intervened. With the
         #: hatch enabled this never exceeds the probe threshold.
         self.max_rto_streak_peak = 0
+        #: Endpoint-installed hop-death hook, consulted with
+        #: ``(cause, now)`` immediately before an exchange would fail
+        #: terminally with ``rto-escape``. Returning True means a backup
+        #: path was promoted: the exchange stays alive and every
+        #: in-flight exchange is re-presented (:meth:`represent`)
+        #: through the new hops instead of burning chain elements on a
+        #: fresh attempt.
+        self.escape_hook = None
 
     # -- public API -----------------------------------------------------------
 
@@ -288,13 +296,22 @@ class SignerSession:
                 continue
             if exchange.probing and exchange.probe_sends >= self.config.probe_budget:
                 # The link never answered even the minimal S1/A1 probe:
-                # stop spinning at max RTO and fail terminally so dead-
-                # peer detection / re-bootstrap takes over.
+                # the hop is dead. A successful failover re-presents the
+                # in-flight S1s over a backup path; otherwise stop
+                # spinning at max RTO and fail terminally so dead-peer
+                # detection / re-bootstrap takes over.
+                if self._try_failover(now, "rto-escape"):
+                    out.extend(self.represent(now))
+                    continue
                 self._fail_exchange(exchange, now, reason="rto-escape")
                 continue
             if not exchange.probing and self._note_max_rto_timeout(exchange):
                 if not self._engage_probe(exchange, now):
-                    continue  # structurally stuck: failed terminally
+                    if self._try_failover(now, "rto-escape"):
+                        out.extend(self.represent(now))
+                    else:
+                        self._fail_exchange(exchange, now, reason="rto-escape")
+                    continue
             exchange.retries += 1
             exchange.rtt_clean = False  # Karn: the next reply is ambiguous
             self.stats.retransmits += 1
@@ -693,23 +710,76 @@ class SignerSession:
         return exchange.at_max_streak >= threshold
 
     def _engage_probe(self, exchange: _Exchange, now: float) -> bool:
-        """Enter probe mode; False when the exchange failed instead.
+        """Enter probe mode; False when the exchange is structurally
+        stuck instead.
 
         A second probe episode with no progress since the first means
-        the exchange is structurally stuck — e.g. an on-path relay
-        committed to a damaged S1 and now drops every genuine resend as
-        a mismatch — so probing again cannot help: fail terminally and
-        let a fresh exchange (or re-bootstrap) replace it.
+        probing again cannot help — e.g. an on-path relay committed to a
+        damaged S1 and now drops every genuine resend as a mismatch.
+        The caller then fails the exchange terminally (or fails the
+        association over to a backup path when one is registered).
         """
         marker = (exchange.state.value, len(exchange.acked))
         if exchange.probe_episodes and exchange.probe_marker == marker:
-            self._fail_exchange(exchange, now, reason="rto-escape")
             return False
         exchange.probe_episodes += 1
         exchange.probe_marker = marker
         exchange.probing = True
         exchange.probe_sends = 0
         return True
+
+    def _try_failover(self, now: float, cause: str) -> bool:
+        """Consult the endpoint's hop-death hook; True on a path switch."""
+        hook = self.escape_hook
+        return hook is not None and bool(hook(cause, now))
+
+    def represent(self, now: float) -> list[bytes]:
+        """Re-present every in-flight exchange after a path switch.
+
+        Chain elements are single-use, so a new path must carry the
+        *same* S1s: the verifier repeats its cached A1 for a
+        retransmitted S1, fresh relays forward it per their unknown-
+        association policy, and warm-provisioned relays verify it
+        through their resync window. Exchanges already past A1 re-enter
+        probe mode so the repeated A1 reseeds the (pinned) RTT estimator
+        with a measurement of the new path before S2 repair resumes.
+        Retry and probe budgets reset — the old path's spend says
+        nothing about the new one.
+        """
+        out: list[bytes] = []
+        for exchange in self._exchanges.values():
+            exchange.retries = 0
+            exchange.at_max_streak = 0
+            exchange.probe_episodes = 0
+            exchange.probe_marker = ()
+            exchange.nack_tokens = self._nack_capacity()
+            exchange.nack_refill_at = now
+            exchange.nack_suppress_streak = 0
+            exchange.nack_open_at = now
+            exchange.rtt_clean = False  # Karn: replies stay ambiguous
+            if exchange.state is ExchangeState.AWAIT_A2:
+                exchange.probing = True
+                exchange.probe_sends = 1
+                exchange.probe_sent_at = now
+                self.stats.escape_probes += 1
+            else:
+                exchange.probing = False
+                exchange.probe_sends = 0
+            exchange.deadline = now + self._current_timeout()
+            out.append(exchange.s1_bytes)
+            self.stats.s1_representations += 1
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    now, self._node, EventKind.RETRANSMIT, self.assoc_id,
+                    exchange.seq, info="failover-represent",
+                )
+                self._obs.registry.counter(
+                    "resilience.failover.represented"
+                ).inc()
+        self.stats.packets_sent += len(out)
+        if self.link is not None:
+            self.link.on_packets_sent(len(out))
+        return out
 
     def _probe_response(
         self, exchange: _Exchange, packet: A1Packet, now: float

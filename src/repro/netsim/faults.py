@@ -54,14 +54,28 @@ class FaultSchedule:
         duration: float | None = None,
         reroute: bool = True,
     ) -> None:
-        """Take the a—b link down at ``at``; restore after ``duration``."""
+        """Take the a—b link down at ``at``; restore after ``duration``.
+
+        ``duration=None`` is an explicit *permanent* failure: the link
+        never comes back unless some other actor restores it. Each
+        window's restore is paired to its own cut via a token, so a
+        restore whose matching failure never acted (an overlapping
+        window cut the link first, or the failure has not fired yet)
+        is a no-op — ``fired`` never shows a ``link-up`` that would
+        prematurely undo another window's (or a permanent) failure.
+        """
         self._plan(at, "link-down", f"{a}|{b}")
-        self.network.simulator.schedule_at(at, self._fail_link, a, b, reroute)
+        token = {"acted": False}
+        self.network.simulator.schedule_at(
+            at, self._fail_link, a, b, reroute, token
+        )
         if duration is not None:
             if duration <= 0:
                 raise ValueError("duration must be positive")
             self._plan(at + duration, "link-up", f"{a}|{b}")
-            self.network.simulator.schedule_at(at + duration, self._restore_link, a, b)
+            self.network.simulator.schedule_at(
+                at + duration, self._restore_link, a, b, token
+            )
 
     def link_churn(
         self,
@@ -71,12 +85,16 @@ class FaultSchedule:
         end: float,
         mean_up_s: float,
         mean_down_s: float,
+        reroute: bool = True,
     ) -> int:
         """Generate exponential up/down windows for one link.
 
         Returns the number of down windows planted. The draw sequence
         depends only on this schedule's DRBG, so a seed replays the same
-        churn pattern.
+        churn pattern. ``reroute=False`` leaves stale routes pointing at
+        the down link (frames silently lost — the radio-loss model); on
+        a topology with no alternate path, rerouting would instead strip
+        the route entirely and make sends error out.
         """
         if end <= start:
             raise ValueError("end must be after start")
@@ -87,7 +105,7 @@ class FaultSchedule:
         while t < end:
             down_for = min(self.rng.expovariate(1.0 / mean_down_s), end - t)
             if down_for > 0:
-                self.link_down(a, b, at=t, duration=down_for)
+                self.link_down(a, b, at=t, duration=down_for, reroute=reroute)
                 windows += 1
             t += down_for + self.rng.expovariate(1.0 / mean_up_s)
         return windows
@@ -95,16 +113,29 @@ class FaultSchedule:
     # -- node faults -----------------------------------------------------------
 
     def node_crash(self, name: str, at: float, restart_at: float | None = None) -> None:
-        """Crash a node (radio dead, state preserved) and maybe restart it."""
+        """Crash a node (radio dead, state preserved) and maybe restart it.
+
+        ``restart_at=None`` is an explicit *permanent* crash: the node
+        stays down for the rest of the run unless something else (e.g. a
+        relay adapter's ``restart``) brings it back. As with links, the
+        restart is token-paired to its own crash, so a restart whose
+        crash never acted (the node was already down from an overlapping
+        cycle) cannot misorder ``fired``.
+        """
         if name not in self.network.nodes:
             raise LookupError(f"no node named {name!r}")
         self._plan(at, "node-crash", name)
-        self.network.simulator.schedule_at(at, self._set_node_up, name, False)
+        token = {"acted": False}
+        self.network.simulator.schedule_at(
+            at, self._set_node_up, name, False, token
+        )
         if restart_at is not None:
             if restart_at <= at:
                 raise ValueError("restart must come after the crash")
             self._plan(restart_at, "node-restart", name)
-            self.network.simulator.schedule_at(restart_at, self._set_node_up, name, True)
+            self.network.simulator.schedule_at(
+                restart_at, self._set_node_up, name, True, token
+            )
 
     def partition(
         self,
@@ -133,20 +164,46 @@ class FaultSchedule:
     def _record(self, kind: str, subject: str) -> None:
         self.fired.append(FaultEvent(self.network.simulator.now, kind, subject))
 
-    def _fail_link(self, a: str, b: str, reroute: bool) -> None:
+    def _fail_link(
+        self, a: str, b: str, reroute: bool, token: dict | None = None
+    ) -> None:
         # Overlapping windows are legal; only the first cut acts.
         if self.network._graph.has_edge(a, b):
             self.network.fail_link(a, b, reroute=reroute)
+            if token is not None:
+                token["acted"] = True
             self._record("link-down", f"{a}|{b}")
 
-    def _restore_link(self, a: str, b: str) -> None:
+    def _restore_link(
+        self, a: str, b: str, token: dict | None = None
+    ) -> None:
+        if token is not None and not token["acted"]:
+            # This window's cut never acted (preempted by an overlapping
+            # window, or not fired yet): restoring now would prematurely
+            # undo someone else's failure and misorder ``fired``.
+            return
         if not self.network._graph.has_edge(a, b):
             self.network.restore_link(a, b)
             self._record("link-up", f"{a}|{b}")
 
-    def _set_node_up(self, name: str, up: bool) -> None:
-        self.network.nodes[name].up = up
-        self._record("node-restart" if up else "node-crash", name)
+    def _set_node_up(
+        self, name: str, up: bool, token: dict | None = None
+    ) -> None:
+        node = self.network.nodes[name]
+        if up:
+            if token is not None and not token["acted"]:
+                return  # paired crash never acted; nothing to undo
+            if node.up:
+                return
+            node.up = True
+            self._record("node-restart", name)
+        else:
+            if not node.up:
+                return  # already down from an overlapping cycle
+            node.up = False
+            if token is not None:
+                token["acted"] = True
+            self._record("node-crash", name)
 
     def _partition_now(self, members: set, duration: float | None, reroute: bool) -> None:
         crossing = []

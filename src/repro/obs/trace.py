@@ -59,6 +59,13 @@ class EventKind(enum.Enum):
     RELAY_DROP = "relay-drop"
     RELAY_EVICT = "relay-evict"
     RELAY_TOMBSTONE = "relay-tombstone"
+    # Relay churn survival (PROTOCOL.md §13): crash-safe restarts and
+    # mid-association path failover
+    RELAY_RESTORED = "relay-restored"
+    RELAY_REANCHOR = "relay-reanchor"
+    RELAY_PASSTHROUGH = "relay-passthrough"
+    FAILOVER = "failover"
+    FAILOVER_EXHAUSTED = "failover-exhausted"
     # Adaptation (PROTOCOL.md §10): controller decisions
     ADAPT_SWITCH = "adapt-switch"
     ADAPT_TUNE = "adapt-tune"

@@ -1,0 +1,291 @@
+"""Relay crash journal: snapshot/restore, re-anchoring, tombstones (§13).
+
+The journal must be *compact* (anchors and digests, not buffers),
+*faithful* (a restarted relay re-anchors only the exact S1 it committed
+to pre-crash), and *non-censoring* (tombstones and eviction ledgers
+survive the restart, and recovering exchanges degrade to pass-through
+rather than being dropped — even under ``strict`` configuration, where
+a state-lost relay would black-hole everything).
+"""
+
+import json
+
+import pytest
+
+from repro.core.hashchain import ACKNOWLEDGMENT_TAGS, ChainVerifier, HashChain
+from repro.core.modes import Mode, ReliabilityMode
+from repro.core.packets import decode_packet
+from repro.core.relay import RelayConfig, RelayEngine
+from repro.core.signer import ChannelConfig, SignerSession
+from repro.core.verifier import VerifierSession
+from repro.crypto.hashes import get_hash
+
+H = 20
+ASSOC = 77
+
+STRICT = RelayConfig(strict=True, forward_unknown=False)
+
+
+class Harness:
+    """Signer, verifier, and a crashable strict relay, driven by hand."""
+
+    def __init__(self, sha1, rng, config=None, relay_config=STRICT):
+        if config is None:
+            config = ChannelConfig(reliability=ReliabilityMode.RELIABLE)
+        self.sha1 = sha1
+        self.relay_config = relay_config
+        sig_chain = HashChain(sha1, rng.random_bytes(H), 64)
+        ack_chain = HashChain(
+            sha1, rng.random_bytes(H), 64, tags=ACKNOWLEDGMENT_TAGS
+        )
+        self.signer = SignerSession(
+            sha1,
+            sig_chain,
+            ChainVerifier(sha1, ack_chain.anchor, tags=ACKNOWLEDGMENT_TAGS),
+            config,
+            ASSOC,
+        )
+        self.verifier = VerifierSession(
+            sha1,
+            ack_chain,
+            ChainVerifier(sha1, sig_chain.anchor),
+            ASSOC,
+            rng.fork("v"),
+        )
+        self.relay = RelayEngine(get_hash("sha1"), relay_config)
+        self.relay.provision(
+            assoc_id=ASSOC,
+            initiator="s",
+            responder="v",
+            initiator_sig_anchor=sig_chain.anchor,
+            initiator_ack_anchor=ack_chain.anchor,
+            responder_sig_anchor=sig_chain.anchor,
+            responder_ack_anchor=ack_chain.anchor,
+        )
+
+    def s_to_v(self, raw, now=0.0):
+        return self.relay.handle(raw, "s", "v", now)
+
+    def v_to_s(self, raw, now=0.0):
+        return self.relay.handle(raw, "v", "s", now)
+
+    def crash_restart(self, now=0.0, tamper=None):
+        """Snapshot, round-trip through JSON, and restore the relay.
+
+        The JSON round-trip is load-bearing: it proves the journal is
+        exactly what a real relay could fsync and read back.
+        """
+        journal = json.loads(json.dumps(self.relay.snapshot()))
+        if tamper is not None:
+            tamper(journal)
+        self.relay = RelayEngine.restore(
+            get_hash("sha1"), journal, config=self.relay_config, now=now
+        )
+        return journal
+
+    def open_exchange(self, messages, now=0.0, through_a1=False):
+        """Send the S1 (and optionally the A1) through the relay."""
+        for m in messages:
+            self.signer.submit(m)
+        s1_raw = self.signer.poll(now)[0]
+        assert self.s_to_v(s1_raw, now).forward
+        a1_raw = self.verifier.handle_s1(decode_packet(s1_raw, H), now)
+        if through_a1:
+            assert self.v_to_s(a1_raw, now).forward
+        return s1_raw, a1_raw
+
+    def finish_exchange(self, a1_raw, now=0.0, relay=True):
+        """Drive S2/A2 to completion; returns delivered messages."""
+        s2_raws = self.signer.handle_a1(decode_packet(a1_raw, H), now)
+        for raw in s2_raws:
+            if relay:
+                assert self.s_to_v(raw, now).forward
+            a2 = self.verifier.handle_s2(decode_packet(raw, H), now)
+            if a2 is not None:
+                if relay:
+                    assert self.v_to_s(a2, now).forward
+                self.signer.handle_a2(decode_packet(a2, H), now)
+        return [m.message for m in self.verifier.drain_delivered()]
+
+
+class TestJournalFormat:
+    def test_snapshot_is_json_serializable(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        harness.open_exchange([b"m"], through_a1=True)
+        journal = harness.relay.snapshot()
+        assert json.loads(json.dumps(journal)) == journal
+        assert journal["format"] == 1
+
+    def test_journal_is_compact_not_full_buffers(self, sha1, rng):
+        """Anchors + digest per exchange — never the pre-sig buffers."""
+        config = ChannelConfig(
+            mode=Mode.CUMULATIVE,
+            batch_size=8,
+            reliability=ReliabilityMode.RELIABLE,
+        )
+        harness = Harness(sha1, rng, config)
+        harness.open_exchange([b"m%d" % i for i in range(8)])
+        channel = harness.relay.snapshot()["associations"][0]["forward"]
+        (record,) = channel["exchanges"]
+        # 8 buffered pre-signatures live in the relay (8 * H bytes);
+        # the journal pins them with one digest.
+        assert harness.relay.buffered_bytes == 8 * H
+        assert len(bytes.fromhex(record["s1_digest"])) == H
+        assert "pre_signatures" not in record
+        flat = json.dumps(record)
+        assert len(flat) < 8 * H * 2  # smaller than the hex of the buffers
+
+    def test_unknown_format_rejected(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        journal = harness.relay.snapshot()
+        journal["format"] = 99
+        with pytest.raises(ValueError, match="journal format"):
+            RelayEngine.restore(get_hash("sha1"), journal)
+
+
+class TestReanchoring:
+    def test_retransmitted_s1_reanchors_and_exchange_completes(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        s1_raw, a1_raw = harness.open_exchange([b"payload"], through_a1=True)
+        harness.crash_restart(now=1.0)
+        decision = harness.s_to_v(s1_raw, 1.0)
+        assert decision.forward and decision.verified
+        assert decision.reason == "s1-reanchored"
+        assert harness.relay.resilience.relay_reanchors == 1
+        # The re-anchored exchange verifies the rest of the interlock.
+        assert harness.finish_exchange(a1_raw, now=1.0) == [b"payload"]
+
+    def test_journaled_a1_is_rejournaled_exactly(self, sha1, rng):
+        """The A1 the pre-crash relay verified is accepted verbatim."""
+        harness = Harness(sha1, rng)
+        s1_raw, a1_raw = harness.open_exchange([b"m"], through_a1=True)
+        harness.crash_restart(now=1.0)
+        assert harness.s_to_v(s1_raw, 1.0).reason == "s1-reanchored"
+        decision = harness.v_to_s(a1_raw, 1.0)
+        assert decision.forward and decision.verified
+        assert decision.reason == "a1-rejournaled"
+
+    def test_mismatched_s1_dropped_after_restart(self, sha1, rng):
+        """Only the exact committed S1 re-anchors; a forgery claiming
+        the journaled seq is dropped, not passed through."""
+        harness = Harness(sha1, rng)
+        s1_raw, _ = harness.open_exchange([b"m"])
+        harness.crash_restart(now=1.0)
+        packet = decode_packet(s1_raw, H)
+        packet.pre_signatures = [b"\x5a" * H]
+        decision = harness.s_to_v(packet.encode(), 1.0)
+        assert not decision.forward
+        assert decision.reason == "s1-journal-mismatch"
+        # The genuine retransmission still re-anchors afterwards.
+        assert harness.s_to_v(s1_raw, 1.0).reason == "s1-reanchored"
+
+    def test_tampered_journal_rejects_genuine_s1(self, sha1, rng):
+        """A corrupted journal fails closed: nothing re-anchors."""
+        harness = Harness(sha1, rng)
+        s1_raw, _ = harness.open_exchange([b"m"])
+
+        def tamper(journal):
+            record = journal["associations"][0]["forward"]["exchanges"][0]
+            record["s1_digest"] = "00" * H
+
+        harness.crash_restart(now=1.0, tamper=tamper)
+        decision = harness.s_to_v(s1_raw, 1.0)
+        assert not decision.forward
+        assert decision.reason == "s1-journal-mismatch"
+
+
+class TestPassthroughUntilAnchored:
+    def test_s2_of_recovering_exchange_passes_through_unverified(
+        self, sha1, rng
+    ):
+        harness = Harness(sha1, rng)
+        _, a1_raw = harness.open_exchange([b"m"], through_a1=True)
+        harness.crash_restart(now=1.0)
+        s2_raws = harness.signer.handle_a1(decode_packet(a1_raw, H), 1.0)
+        decision = harness.s_to_v(s2_raws[0], 1.0)
+        assert decision.forward and not decision.verified
+        assert decision.reason == "s2-recovering"
+        assert harness.relay.resilience.restore_passthrough == 1
+
+    def test_strict_relay_without_journal_black_holes(self, sha1, rng):
+        """The degraded mode is the journal's doing: a state-lost strict
+        relay drops the same traffic (the pre-§13 failure mode)."""
+        harness = Harness(sha1, rng)
+        _, a1_raw = harness.open_exchange([b"m"], through_a1=True)
+        harness.relay = RelayEngine(get_hash("sha1"), STRICT)  # no journal
+        s2_raws = harness.signer.handle_a1(decode_packet(a1_raw, H), 1.0)
+        assert not harness.s_to_v(s2_raws[0], 1.0).forward
+
+    def test_recovering_exchange_expires_to_tombstone(self, sha1, rng):
+        """Never-re-anchored records TTL out into the eviction ledger —
+        eviction-never-censors covers the recovery queue too."""
+        harness = Harness(sha1, rng)
+        _, a1_raw = harness.open_exchange([b"m"], through_a1=True)
+        harness.crash_restart(now=1.0)
+        ttl = STRICT.exchange_ttl_s
+        s2_raws = harness.signer.handle_a1(decode_packet(a1_raw, H), 1.0)
+        late = 1.0 + ttl + 1.0
+        decision = harness.s_to_v(s2_raws[0], late)
+        assert decision.forward and not decision.verified
+        assert decision.reason == "s2-evicted-unverified"
+
+
+class TestTombstonesAcrossRestart:
+    def _evict_exchange(self, harness, now):
+        """TTL-evict the open exchange, returning its raw S1."""
+        s1_raw, _ = harness.open_exchange([b"m"], now=now)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        channel.prune(now + STRICT.exchange_ttl_s + 1.0)
+        return s1_raw
+
+    def test_eviction_ledger_survives_restart(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        s1_raw = self._evict_exchange(harness, 0.0)
+        journal = harness.crash_restart(now=40.0)
+        channel = journal["associations"][0]["forward"]
+        assert channel["evicted"] == [decode_packet(s1_raw, H).seq]
+        # The restarted relay still never censors the evicted exchange:
+        # its consumed-element S1 retransmission forwards unverified.
+        decision = harness.s_to_v(s1_raw, 40.0)
+        assert decision.forward and not decision.verified
+        assert decision.reason == "s1-evicted-unverified"
+
+    def test_restart_does_not_resurrect_evicted_exchange(self, sha1, rng):
+        """An evicted exchange stays evicted: no buffered state, no
+        recovery record — exactly the pre-crash degraded semantics."""
+        harness = Harness(sha1, rng)
+        s1_raw = self._evict_exchange(harness, 0.0)
+        harness.crash_restart(now=40.0)
+        seq = decode_packet(s1_raw, H).seq
+        channel = harness.relay._associations[ASSOC].forward_channel
+        assert seq not in channel.exchanges
+        assert seq not in channel.recovering
+        assert seq in channel.evicted
+        harness.s_to_v(s1_raw, 40.0)
+        # Forwarding the tombstoned retransmission must not have
+        # rebuilt verified state either.
+        assert seq not in channel.exchanges
+
+    def test_double_crash_rejournal_keeps_recovering_records(self, sha1, rng):
+        """Crash-during-restart: a second snapshot taken before any
+        re-anchor carries the recovery queue forward intact."""
+        harness = Harness(sha1, rng)
+        s1_raw, a1_raw = harness.open_exchange([b"m"], through_a1=True)
+        harness.crash_restart(now=1.0)
+        harness.crash_restart(now=2.0)  # again, mid-recovery
+        decision = harness.s_to_v(s1_raw, 2.0)
+        assert decision.forward and decision.verified
+        assert decision.reason == "s1-reanchored"
+        assert harness.finish_exchange(a1_raw, now=2.0) == [b"m"]
+
+    def test_s1_allowance_survives_restart(self, sha1, rng):
+        """The anti-flooding allowance is state too: a restart must not
+        reopen the initial-allowance window the exchanges had grown."""
+        harness = Harness(sha1, rng)
+        harness.open_exchange([b"m"], through_a1=True)
+        channel = harness.relay._associations[ASSOC].forward_channel
+        grown = channel.s1_allowance
+        assert grown > STRICT.initial_s1_allowance
+        harness.crash_restart(now=1.0)
+        restored = harness.relay._associations[ASSOC].forward_channel
+        assert restored.s1_allowance == grown

@@ -73,3 +73,57 @@ CASES = [
               storm=True, expect_suppressed=True),
     WedgeCase("merkle-1hop-s0-storm", Mode.MERKLE, 4, 1, 0, storm=True),
 ]
+
+
+# -- churn chaos corpus (PROTOCOL.md §13) --------------------------------------
+
+#: Simulator-event budget per churn case. Post-fix the worst case
+#: finishes in ~800 events; the pre-failover baselines burn 8k+ grinding
+#: their whole retry budget against a dead hop without delivering.
+CHURN_EVENT_BUDGET = 10_000
+#: Simulated-time ceiling per churn case (post-fix worst ~11.5 s; the
+#: baselines stall past 85 s on the permanent-crash schedules).
+CHURN_TIME_BUDGET_S = 120.0
+
+
+@dataclass(frozen=True)
+class ChurnCase:
+    """One seed-pinned relay-churn scenario.
+
+    ``scenario`` picks the churn_harness builder:
+
+    - ``relay-crash``: diamond topology, primary relay crashes
+      permanently mid-exchange; survival requires hop-death
+      classification + failover to the warm backup path.
+    - ``crash-restart``: single-path strict relay crash/restarts from
+      its journal twice (the second window mid-recovery); survival
+      requires the §13 journal + pass-through-until-anchored restart.
+    - ``partition-heal``: diamond, primary relay partitioned away for
+      longer than the classification latency, then healed; failover
+      must carry the association across the cut.
+
+    On pre-failover/pre-journal code (``run_*`` with ``failover=False``
+    / ``journal=False``) every scenario loses messages to terminal
+    ``rto-escape`` — the suite asserts that baseline failure too, so
+    the corpus cannot silently stop proving anything.
+    """
+
+    name: str
+    scenario: str
+    mode: Mode
+    batch: int
+    seed: int
+
+
+CHURN_CASES = [
+    ChurnCase("relay-crash-base-s1", "relay-crash", Mode.BASE, 1, 1),
+    ChurnCase("relay-crash-base-s2", "relay-crash", Mode.BASE, 1, 2),
+    ChurnCase("relay-crash-cumulative-s4", "relay-crash", Mode.CUMULATIVE, 4, 4),
+    ChurnCase("relay-crash-merkle-s4", "relay-crash", Mode.MERKLE, 4, 4),
+    ChurnCase("crash-restart-base-s3", "crash-restart", Mode.BASE, 1, 3),
+    ChurnCase("crash-restart-base-s7", "crash-restart", Mode.BASE, 1, 7),
+    ChurnCase("crash-restart-cumulative-s7", "crash-restart",
+              Mode.CUMULATIVE, 4, 7),
+    ChurnCase("partition-heal-base-s1", "partition-heal", Mode.BASE, 1, 1),
+    ChurnCase("partition-heal-base-s2", "partition-heal", Mode.BASE, 1, 2),
+]

@@ -1,0 +1,163 @@
+"""Churn-seed regression suite (ISSUE: survive relay churn, §13).
+
+Every corpus case replays a relay-churn schedule — permanent crash
+mid-exchange, crash-during-restart, partition-and-heal — through the
+deterministic netsim. The suite pins the whole survival subsystem:
+
+- every case delivers *all* submitted messages within a bounded event
+  budget, with zero terminal failures;
+- the §13 machinery visibly engaged (failover switches / journal
+  restores / re-anchors, per scenario);
+- no chain element is ever double-spent: the verifier consumes each
+  signature-chain index exactly once even though failover re-presents
+  in-flight S1s through new hops;
+- the *baselines* — identical schedules with failover or the journal
+  disabled — demonstrably lose messages to terminal ``rto-escape``,
+  so the corpus keeps proving the fix (a pre-failover tree fails it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.regression.corpus import (
+    CHURN_CASES,
+    CHURN_EVENT_BUDGET,
+    CHURN_TIME_BUDGET_S,
+    MESSAGES,
+    ChurnCase,
+)
+from tests.regression.churn_harness import (
+    assert_no_double_spend,
+    run_crash_restart,
+    run_partition_heal,
+    run_relay_crash,
+)
+
+_RUNNERS = {
+    "relay-crash": run_relay_crash,
+    "crash-restart": run_crash_restart,
+    "partition-heal": run_partition_heal,
+}
+
+
+def _run(case: ChurnCase, **overrides):
+    runner = _RUNNERS[case.scenario]
+    return runner(
+        seed=case.seed,
+        mode=case.mode,
+        batch=case.batch,
+        messages=MESSAGES,
+        event_budget=CHURN_EVENT_BUDGET,
+        time_budget_s=CHURN_TIME_BUDGET_S,
+        **overrides,
+    )
+
+
+@pytest.mark.parametrize("case", CHURN_CASES, ids=lambda c: c.name)
+def test_churn_seed_survives_within_budget(case: ChurnCase) -> None:
+    run = _run(case)
+    assert run.done and run.delivered >= MESSAGES, (
+        f"{case.name}: {run.delivered}/{MESSAGES} delivered after "
+        f"{run.events} events / {run.sim_time:.1f}s — churn survival "
+        "regressed"
+    )
+    assert run.events <= CHURN_EVENT_BUDGET
+    assert run.sim_time <= CHURN_TIME_BUDGET_S
+    assert not run.failure_reasons, (
+        f"{case.name}: terminal failures {run.failure_reasons} — the "
+        "association did not survive the churn"
+    )
+    # Failover must never burn an unconsumed chain element.
+    assert_no_double_spend(run)
+    # The survival machinery engaged — the run did not pass by luck.
+    if case.scenario == "crash-restart":
+        assert run.obs.registry.counter("relay.restores").value >= 2, (
+            f"{case.name}: the relay never restored from its journal"
+        )
+        assert run.obs.registry.counter("relay.reanchors").value >= 1, (
+            f"{case.name}: no exchange was re-anchored after restart"
+        )
+    else:
+        assert run.signer_stats.failovers >= 1, (
+            f"{case.name}: no path failover happened"
+        )
+        assert run.signer_stats.s1_representations >= 1, (
+            f"{case.name}: failover switched paths but re-presented "
+            "no S1"
+        )
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CHURN_CASES if c.scenario != "crash-restart"],
+    ids=lambda c: c.name,
+)
+def test_churn_seed_fails_without_failover(case: ChurnCase) -> None:
+    """The same schedule minus the fix loses traffic (corpus validity)."""
+    run = _run(case, failover=False)
+    assert run.delivered < MESSAGES and "rto-escape" in run.failure_reasons, (
+        f"{case.name}: the no-failover baseline survived "
+        f"({run.delivered}/{MESSAGES}) — this case no longer proves "
+        "anything"
+    )
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CHURN_CASES if c.scenario == "crash-restart"],
+    ids=lambda c: c.name,
+)
+def test_churn_seed_fails_without_journal(case: ChurnCase) -> None:
+    """A state-losing strict relay black-holes the same schedule."""
+    run = _run(case, journal=False)
+    assert run.delivered < MESSAGES and "rto-escape" in run.failure_reasons, (
+        f"{case.name}: the no-journal baseline survived "
+        f"({run.delivered}/{MESSAGES}) — this case no longer proves "
+        "anything"
+    )
+
+
+def test_relay_crash_emits_section13_events() -> None:
+    """The §13 event vocabulary tells the failover story end to end."""
+    from repro.obs import EventKind
+
+    case = next(c for c in CHURN_CASES if c.scenario == "relay-crash")
+    run = _run(case)
+    tracer = run.obs.tracer
+    assert tracer.count(EventKind.FAILOVER, node="s") >= 1
+    # The represented S1s are flagged as failover retransmits.
+    represents = [
+        e for e in tracer.events
+        if e.kind is EventKind.RETRANSMIT and e.info == "failover-represent"
+    ]
+    assert represents, "no failover-represent retransmit was traced"
+    assert run.obs.registry.counter("resilience.failover.switches").value >= 1
+    assert (
+        run.obs.registry.counter("resilience.failover.represented").value >= 1
+    )
+
+
+def test_crash_restart_emits_section13_events() -> None:
+    from repro.obs import EventKind
+
+    case = next(c for c in CHURN_CASES if c.scenario == "crash-restart")
+    run = _run(case)
+    tracer = run.obs.tracer
+    assert tracer.count(EventKind.RELAY_RESTORED, node="r1") >= 2
+    assert tracer.count(EventKind.RELAY_REANCHOR, node="r1") >= 1
+
+
+def test_path_manager_state_after_failover() -> None:
+    """After the crash the backup path is active and ranked first."""
+    case = next(c for c in CHURN_CASES if c.scenario == "relay-crash")
+    run = _run(case)
+    paths = run.endpoint.paths
+    active = paths.active("v")
+    assert active is not None and active.path_id == "via-r2"
+    assert paths.failover_count("v") >= 1
+    demoted = next(c for c in paths.candidates("v") if c.path_id == "via-r1")
+    assert demoted.failures >= 1, "the dead primary kept no failure mark"
+    # Completions over the promoted path clear *its* mark (note_success
+    # targets the active path), so re-promotion ranking favors it.
+    assert active.failures == 0
