@@ -18,9 +18,16 @@ keys must not rise. ``wall_s`` is host wall-clock — noisy by nature —
 so it is reported but never fails the run unless ``--include-wall`` is
 given. Keys matching neither family are informational only.
 
+With ``--perf-smoke`` the script additionally gates the key hot-path
+throughput metrics against the *median* of their history ring (not just
+the previous generation): ``bench_e2e_modes`` goodput more than 10%
+below its ring median fails the run. The median makes the gate robust
+to a single bad generation having rotated into ``previous``.
+
 Usage::
 
     python scripts/bench_track.py [--tolerance 0.15] [--include-wall]
+                                  [--perf-smoke]
 
 Wired into ``scripts/check.sh`` as the opt-in ``--bench`` stage: run
 the tier-1 suite once to lay down snapshots, change code, run again,
@@ -49,6 +56,15 @@ LOWER_BETTER = ("latency", "elapsed", "ratio", "per_msg", "bytes", "wall")
 #: Minimum series length before the drift check speaks: two points are
 #: exactly what the single-step diff already covers.
 MIN_TREND_POINTS = 3
+
+#: Perf-smoke gates: bench name -> (metric, allowed drop vs ring
+#: median). These are the headline hot-path numbers; anything sliding
+#: more than the fraction below the median of its recorded history is
+#: a real performance regression, not noise (the metrics are
+#: simulated-time and deterministic).
+PERF_SMOKE_GATES = {
+    "bench_e2e_modes": ("goodput_bps", 0.10),
+}
 
 
 def direction(key: str) -> int:
@@ -161,6 +177,50 @@ def compare_trend(
     return drifts
 
 
+def median(values: list[float]) -> float:
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2:
+        return ranked[mid]
+    return (ranked[mid - 1] + ranked[mid]) / 2
+
+
+def perf_smoke(bench: str, payload: dict) -> list[str]:
+    """Gate lines for one snapshot (empty = clean or not gated).
+
+    Compares ``current`` against the median of the *history* ring only
+    (current excluded, so one fast generation cannot vouch for itself).
+    Silent with fewer than two history points — a fresh ring has no
+    baseline worth enforcing.
+    """
+    gate = PERF_SMOKE_GATES.get(bench)
+    if gate is None:
+        return []
+    key, allowed = gate
+    current = (payload.get("current") or {}).get(key)
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        return [f"{bench}: perf-smoke metric {key!r} missing from current"]
+    history = [
+        g[key]
+        for g in payload.get("history") or []
+        if isinstance(g, dict)
+        and isinstance(g.get(key), (int, float))
+        and not isinstance(g.get(key), bool)
+    ]
+    if len(history) < 2:
+        return []
+    baseline = median(history)
+    if baseline <= 0:
+        return []
+    drop = (baseline - current) / baseline
+    if drop > allowed:
+        return [
+            f"{bench}: {key} {current:g} is {drop:.1%} below the ring "
+            f"median {baseline:g} (allowed {allowed:.0%})"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -170,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--include-wall", action="store_true",
         help="also fail on wall-clock regressions (noisy; off by default)",
+    )
+    parser.add_argument(
+        "--perf-smoke", action="store_true",
+        help="also gate headline throughput metrics against their "
+             "history-ring median (see PERF_SMOKE_GATES)",
     )
     parser.add_argument(
         "--dir", type=pathlib.Path, default=BENCH_DIR,
@@ -183,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     regressions: list[str] = []
     drifts: list[str] = []
+    gate_failures: list[str] = []
     compared = skipped = 0
     for path in snapshots:
         try:
@@ -196,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
                   f" expected {SCHEMA}")
             skipped += 1
             continue
+        if args.perf_smoke:
+            gate_failures.extend(perf_smoke(payload.get("bench", path.name),
+                                            payload))
         previous, current = payload.get("previous"), payload.get("current")
         if not previous or not current:
             skipped += 1  # first run: nothing to diff against yet
@@ -210,12 +279,16 @@ def main(argv: list[str] | None = None) -> int:
                           args.tolerance, args.include_wall)
         )
     print(f"bench_track: {compared} compared, {skipped} without history,"
-          f" {len(regressions)} regression(s), {len(drifts)} drift(s)")
+          f" {len(regressions)} regression(s), {len(drifts)} drift(s)"
+          + (f", {len(gate_failures)} perf-smoke failure(s)"
+             if args.perf_smoke else ""))
     for line in regressions:
         print(f"  REGRESSION {line}")
     for line in drifts:
         print(f"  DRIFT {line}")
-    return 1 if regressions or drifts else 0
+    for line in gate_failures:
+        print(f"  PERF-SMOKE {line}")
+    return 1 if regressions or drifts or gate_failures else 0
 
 
 if __name__ == "__main__":

@@ -47,7 +47,9 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
 if [ "$RUN_BENCH" = "1" ]; then
     # The suite above just wrote fresh results/bench/BENCH_*.json
-    # snapshots; diff them against the previous generation.
-    echo "== bench regression tracking =="
-    python scripts/bench_track.py
+    # snapshots; diff them against the previous generation, and gate
+    # the headline hot-path metrics (e2e goodput) against the median of
+    # their history ring (>10% below median fails).
+    echo "== bench regression tracking + perf smoke =="
+    python scripts/bench_track.py --perf-smoke
 fi

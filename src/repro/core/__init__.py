@@ -19,7 +19,7 @@ Layering, bottom to top:
 
 from repro.core.modes import Mode, ReliabilityMode
 from repro.core.hashchain import HashChain, ChainVerifier
-from repro.core.merkle import MerkleTree, verify_merkle_path
+from repro.core.merkle import MerkleTree, MerkleVerifyCache, verify_merkle_path
 from repro.core.acktree import AckTree, verify_ack_opening
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
 from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
@@ -37,6 +37,7 @@ __all__ = [
     "HashChain",
     "ChainVerifier",
     "MerkleTree",
+    "MerkleVerifyCache",
     "verify_merkle_path",
     "AckTree",
     "verify_ack_opening",

@@ -66,6 +66,10 @@ class EndpointConfig:
     mode: Mode = Mode.BASE
     reliability: ReliabilityMode = ReliabilityMode.UNRELIABLE
     batch_size: int = 8
+    #: Concurrent interlocked exchanges in flight (ChannelConfig
+    #: semantics; Section 3.2.1's role binding makes >1 safe). 1 keeps
+    #: the paper's strictly sequential scheme.
+    max_outstanding: int = 1
     retransmit_timeout_s: float = 0.25
     max_retries: int = 6
     retransmit_policy: RetransmitPolicy = RetransmitPolicy.SELECTIVE_REPEAT
@@ -147,6 +151,7 @@ class EndpointConfig:
             mode=self.mode,
             reliability=self.reliability,
             batch_size=self.batch_size,
+            max_outstanding=self.max_outstanding,
             retransmit_timeout_s=self.retransmit_timeout_s,
             max_retries=self.max_retries,
             retransmit_policy=self.retransmit_policy,

@@ -17,6 +17,27 @@ class PacketError(AlphaError):
     """A packet could not be decoded (truncated, bad magic, bad type)."""
 
 
+class WireError(PacketError):
+    """A truncated read at the codec layer.
+
+    Raised by :class:`repro.core.wire.Reader` when a field extends past
+    the end of the buffer. Carries the exact read geometry — ``offset``
+    (where the field starts), ``wanted`` (bytes the field needs), and
+    ``available`` (bytes actually left) — so a rejected datagram can be
+    triaged from the log line alone. Subclasses :class:`PacketError`,
+    so every existing ``except PacketError`` handler keeps working.
+    """
+
+    def __init__(self, offset: int, wanted: int, available: int) -> None:
+        self.offset = offset
+        self.wanted = wanted
+        self.available = available
+        super().__init__(
+            f"truncated packet: field at offset {offset} wants {wanted} "
+            f"byte{'s' if wanted != 1 else ''}, only {available} available"
+        )
+
+
 class AuthenticationError(AlphaError):
     """A cryptographic check failed (chain element, MAC, tree path)."""
 

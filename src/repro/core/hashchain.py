@@ -16,11 +16,21 @@ an odd one (sent in S1 as an identity token) and the even one below it
 
 The chain length ``n`` must be even so the anchor sits at an even
 position and the first disclosed element is S1-typed.
+
+Hot-path layout (PROTOCOL.md §14): a chain's ``n`` elements live in one
+contiguous immutable ``bytes`` buffer, ``digest_size`` bytes per
+position, built by a single tight loop over the raw hash callable at
+construction time (the work is charged to the operation counter in one
+bulk record — same tallies, none of the per-call bookkeeping).
+:meth:`HashChain.element` slices the buffer; :meth:`HashChain.view`
+exposes a zero-copy ``memoryview`` slice for consumers that only need
+the value transiently. :class:`ChainElement` is a ``NamedTuple`` so the
+pairs the hot path does allocate are tuple-cheap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.exceptions import AuthenticationError, ChainExhaustedError
 from repro.crypto.hashes import HashFunction
@@ -34,12 +44,44 @@ def _tag_for(index: int, tags: tuple[bytes, bytes]) -> bytes:
     return tags[0] if index % 2 else tags[1]
 
 
-@dataclass(frozen=True)
-class ChainElement:
+class ChainElement(NamedTuple):
     """One disclosed or disclosable chain element."""
 
     index: int
     value: bytes
+
+
+def _build_chain(
+    hash_fn: HashFunction,
+    seed: bytes,
+    length: int,
+    tags: tuple[bytes, bytes],
+) -> bytes:
+    """One contiguous buffer holding positions ``1..length``.
+
+    Position ``i`` lives at ``[(i - 1) * h : i * h]``. The seed
+    (position 0) is *not* in the buffer — it may be any length, while
+    the buffer is strictly ``digest_size``-strided. The whole build is
+    one loop over the raw hash callable; the counter is charged in bulk
+    afterwards with the exact per-call tallies (``length`` operations,
+    ``len(tag) + input`` bytes each), so Table 1 accounting is
+    unchanged.
+    """
+    raw = hash_fn.raw
+    h = hash_fn.digest_size
+    odd, even = tags
+    buf = bytearray(length * h)
+    value = raw(odd + seed)  # position 1 is odd by construction
+    buf[0:h] = value
+    pos = h
+    for index in range(2, length + 1):
+        value = raw((odd if index & 1 else even) + value)
+        buf[pos : pos + h] = value
+        pos += h
+    tag_len = len(odd)  # role tags are the same width by convention
+    hashed_bytes = (tag_len + len(seed)) + (length - 1) * (tag_len + h)
+    hash_fn.counter.record_hash_batch(length, hashed_bytes, "chain-create")
+    return bytes(buf)
 
 
 class HashChain:
@@ -75,12 +117,10 @@ class HashChain:
         self._hash = hash_fn
         self.tags = tags
         self.length = length
-        elements = [seed]
-        value = seed
-        for index in range(1, length + 1):
-            value = hash_fn.digest(_tag_for(index, tags) + value, label="chain-create")
-            elements.append(value)
-        self._elements = elements
+        self._seed = seed
+        self._width = hash_fn.digest_size
+        self._buf = _build_chain(hash_fn, seed, length, tags)
+        self._view = memoryview(self._buf)
         # Position of the most recently disclosed element; starts at the
         # anchor, which is public by definition.
         self._cursor = length
@@ -88,7 +128,7 @@ class HashChain:
     @property
     def anchor(self) -> ChainElement:
         """The public end of the chain, exchanged at bootstrap."""
-        return ChainElement(self.length, self._elements[self.length])
+        return ChainElement(self.length, self.value_at(self.length))
 
     @property
     def remaining(self) -> int:
@@ -100,11 +140,30 @@ class HashChain:
         """Complete two-element exchanges the chain can still support."""
         return self._cursor // 2
 
-    def element(self, index: int) -> ChainElement:
-        """Access an element by position (owner-side only)."""
+    def value_at(self, index: int) -> bytes:
+        """Element value by position — one slice, no wrapper object."""
         if not 0 <= index <= self.length:
             raise IndexError(f"chain position {index} out of range 0..{self.length}")
-        return ChainElement(index, self._elements[index])
+        if index == 0:
+            return self._seed
+        start = (index - 1) * self._width
+        return self._buf[start : start + self._width]
+
+    def view(self, index: int) -> memoryview:
+        """Zero-copy ``memoryview`` of an element (positions 1..n).
+
+        For transient consumers (wire encode, constant-time compares)
+        that never let the value escape; position 0 (the seed, which may
+        have a different width) is only reachable via :meth:`value_at`.
+        """
+        if not 1 <= index <= self.length:
+            raise IndexError(f"chain position {index} out of range 1..{self.length}")
+        start = (index - 1) * self._width
+        return self._view[start : start + self._width]
+
+    def element(self, index: int) -> ChainElement:
+        """Access an element by position (owner-side only)."""
+        return ChainElement(index, self.value_at(index))
 
     def next_exchange(self) -> tuple[ChainElement, ChainElement]:
         """Consume one exchange worth of elements.
@@ -113,27 +172,33 @@ class HashChain:
         identity token for the S1 packet and the even-position element
         one step down that keys the MAC and is disclosed in S2.
         """
-        if self._cursor < 2:
+        cursor = self._cursor
+        if cursor < 2:
             raise ChainExhaustedError(
                 f"chain exhausted after {self.length // 2} exchanges"
             )
-        s1_index = self._cursor - 1
-        key_index = self._cursor - 2
-        self._cursor -= 2
+        self._cursor = cursor - 2
+        width = self._width
+        # cursor >= 2, so the odd position is >= 1: straight buffer math.
+        # The even position hits 0 (the seed, outside the buffer) only on
+        # the chain's very last exchange.
+        top = (cursor - 1) * width
+        key = self._buf[top - 2 * width : top - width] if cursor > 2 else self._seed
         return (
-            ChainElement(s1_index, self._elements[s1_index]),
-            ChainElement(key_index, self._elements[key_index]),
+            ChainElement(cursor - 1, self._buf[top - width : top]),
+            ChainElement(cursor - 2, key),
         )
 
     def peek_exchange(self) -> tuple[ChainElement, ChainElement]:
         """Like :meth:`next_exchange` without consuming the elements."""
-        if self._cursor < 2:
+        cursor = self._cursor
+        if cursor < 2:
             raise ChainExhaustedError(
                 f"chain exhausted after {self.length // 2} exchanges"
             )
         return (
-            ChainElement(self._cursor - 1, self._elements[self._cursor - 1]),
-            ChainElement(self._cursor - 2, self._elements[self._cursor - 2]),
+            ChainElement(cursor - 1, self.value_at(cursor - 1)),
+            ChainElement(cursor - 2, self.value_at(cursor - 2)),
         )
 
 
@@ -175,23 +240,30 @@ class ChainVerifier:
 
         On success with ``commit=True`` the verifier advances its trusted
         element, so each element can authenticate only once (freshness).
+        The gap walk runs on the raw hash callable and is charged to the
+        counter in one bulk record (identical tallies to per-call).
         """
-        gap = self.trusted.index - element.index
+        trusted_index = self.trusted.index
+        gap = trusted_index - element.index
         if gap <= 0 or gap > self.resync_window:
             return False
+        raw = self._hash.raw
+        odd, even = self.tags
         value = element.value
         derived = {}
-        for index in range(element.index + 1, self.trusted.index + 1):
-            value = self._hash.digest(
-                _tag_for(index, self.tags) + value, label="chain-verify"
-            )
-            if index < self.trusted.index:
+        for index in range(element.index + 1, trusted_index + 1):
+            value = raw((odd if index & 1 else even) + value)
+            if index < trusted_index:
                 derived[index] = value
+        self._hash.counter.record_hash_batch(
+            gap, sum(len(odd) + len(v) for v in (element.value, *derived.values())),
+            "chain-verify",
+        )
         if value != self.trusted.value:
             return False
         if commit:
             self._derived.update(derived)
-            self._derived[self.trusted.index] = self.trusted.value
+            self._derived[trusted_index] = self.trusted.value
             self.trusted = element
             self._prune_derived()
         return True
@@ -293,12 +365,21 @@ class CheckpointedHashChain:
         self.length = length
         self.checkpoint_interval = checkpoint_interval
         # Build once, keeping checkpoints at positions 0, k, 2k, ...
+        # One raw-hash loop + bulk accounting, like HashChain.
+        raw = hash_fn.raw
+        odd, even = tags
         self._checkpoints: dict[int, bytes] = {0: seed}
         value = seed
         for index in range(1, length + 1):
-            value = hash_fn.digest(_tag_for(index, tags) + value, label="chain-create")
+            value = raw((odd if index & 1 else even) + value)
             if index % checkpoint_interval == 0 or index == length:
                 self._checkpoints[index] = value
+        tag_len = len(odd)
+        hash_fn.counter.record_hash_batch(
+            length,
+            (tag_len + len(seed)) + (length - 1) * (tag_len + hash_fn.digest_size),
+            "chain-create",
+        )
         self._anchor_value = value
         self._cursor = length
         # Cache of the segment currently being consumed.

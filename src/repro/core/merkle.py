@@ -98,6 +98,51 @@ class MerkleTree:
         return siblings
 
 
+class MerkleVerifyCache:
+    """Interior nodes proven to connect to a committed root.
+
+    Receiving-side batch accelerator (PROTOCOL.md §14): the first S2 of
+    a batch verifies the full ``1* + log2(n)`` path and deposits every
+    node it computed — including the complementary siblings, which the
+    successful root comparison proves genuine too. Later S2s of the same
+    batch fold upward only until they meet a proven node, which in the
+    common case is immediately: their own leaf hash was the previous
+    packet's level-0 sibling. Amortized per-message cost drops from
+    ``log2(n) + 2`` hashes to little more than the one leaf hash.
+
+    Soundness rests on the same collision resistance as the tree itself:
+    a cached node is stored only after a fold chain ending in the
+    committed root, and a short-circuit requires computing a value
+    *equal* to a cached node at the same (level, position) — any forged
+    message or path reaching that point is a hash collision. Entries are
+    namespaced by the committed root, so MERKLE_CUMULATIVE exchanges
+    with several block roots share one cache safely and a node can never
+    vouch across roots.
+
+    Lifetime is one exchange: engines hang an instance off their
+    per-exchange state, so it dies at the batch boundary with the
+    exchange and is never serialized into recovery journals (a restored
+    relay re-proves from the re-presented S1 commitments alone).
+    """
+
+    __slots__ = ("hits", "misses", "_nodes")
+
+    def __init__(self) -> None:
+        self._nodes: dict[tuple[bytes, int, int], bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def clear(self) -> None:
+        self._nodes.clear()
+
+    def node(self, root: bytes, level: int, position: int) -> bytes | None:
+        """The proven node at ``(level, position)`` under ``root``."""
+        return self._nodes.get((root, level, position))
+
+
 def verify_merkle_path(
     hash_fn: HashFunction,
     message: bytes,
@@ -106,6 +151,7 @@ def verify_merkle_path(
     key: bytes,
     expected_root: bytes,
     label_prefix: str = "merkle",
+    cache: MerkleVerifyCache | None = None,
 ) -> bool:
     """Verifier/relay-side check of one S2 block.
 
@@ -113,19 +159,42 @@ def verify_merkle_path(
     branches upward, applies the disclosed key, and compares against the
     committed root. Performs ``len(path) + 1`` fixed-size hash
     operations plus one leaf hash over the message — the paper's
-    ``1* + log2(n)`` verifier cost (Table 1).
+    ``1* + log2(n)`` verifier cost (Table 1). With a
+    :class:`MerkleVerifyCache` the fold short-circuits at the first
+    node already proven under ``expected_root``, and a verification that
+    does reach the root deposits everything it computed.
     """
     if index < 0:
         return False
     value = hash_fn.digest(message, label=f"{label_prefix}-leaf")
     position = index
+    nodes = cache._nodes if cache is not None else None
+    computed: list[tuple[int, int, bytes]] | None = None
+    if nodes is not None:
+        if nodes.get((expected_root, 0, position)) == value:
+            cache.hits += 1
+            return True
+        computed = [(0, position, value)]
+    level = 0
     if path:
         for sibling in path[:-1]:
             if position % 2:
                 value = hash_fn.digest(sibling + value, label=f"{label_prefix}-node")
             else:
                 value = hash_fn.digest(value + sibling, label=f"{label_prefix}-node")
+            if computed is not None:
+                computed.append((level, position ^ 1, sibling))
             position //= 2
+            level += 1
+            if computed is not None:
+                if nodes.get((expected_root, level, position)) == value:
+                    # The fold met a proven node: membership established,
+                    # and everything below it is now proven as well.
+                    cache.hits += 1
+                    for lvl, pos, val in computed:
+                        nodes[(expected_root, lvl, pos)] = val
+                    return True
+                computed.append((level, position, value))
         top_sibling = path[-1]
         if position % 2:
             combined = key + top_sibling + value
@@ -134,7 +203,15 @@ def verify_merkle_path(
         root = hash_fn.digest(combined, label=f"{label_prefix}-root")
     else:
         root = hash_fn.digest(key + value, label=f"{label_prefix}-root")
-    return root == expected_root
+    ok = root == expected_root
+    if computed is not None:
+        cache.misses += 1
+        if ok:
+            if path:
+                computed.append((level, position ^ 1, top_sibling))
+            for lvl, pos, val in computed:
+                nodes[(expected_root, lvl, pos)] = val
+    return ok
 
 
 def path_overhead_bytes(n_messages: int, hash_size: int) -> int:

@@ -25,7 +25,7 @@ from repro.core.hashchain import (
     ChainElement,
     ChainVerifier,
 )
-from repro.core.merkle import verify_merkle_path
+from repro.core.merkle import MerkleVerifyCache, verify_merkle_path
 from repro.core.modes import Mode
 from repro.core.packets import (
     A1Packet,
@@ -127,6 +127,10 @@ class _RelayExchange:
     verified_s2: set[int] = field(default_factory=set)
     #: Simulated time of the last packet that touched this exchange.
     last_seen: float = 0.0
+    #: Proven Merkle interior nodes for this batch (PROTOCOL.md §14).
+    #: Never journaled: a restored relay starts cold and re-proves from
+    #: the re-presented S1 commitments.
+    merkle_cache: MerkleVerifyCache = field(default_factory=MerkleVerifyCache)
 
     @property
     def buffered_bytes(self) -> int:
@@ -606,6 +610,7 @@ class _ChannelObserver:
                 packet.auth_path,
                 key,
                 root,
+                cache=exchange.merkle_cache,
             )
         recomputed = self._hash.mac(key, packet.message, label="relay-s2-verify")
         return recomputed == exchange.pre_signatures[packet.msg_index]

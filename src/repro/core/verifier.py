@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.core.acktree import AckTree
 from repro.core.hashchain import ChainElement, ChainVerifier, HashChain
-from repro.core.merkle import verify_merkle_path
+from repro.core.merkle import MerkleVerifyCache, verify_merkle_path
 from repro.core.modes import Mode
 from repro.core.packets import A1Packet, A2Packet, AckVerdict, S1Packet, S2Packet
 from repro.core.signer import PRE_ACK_TAG, PRE_NACK_TAG
@@ -69,6 +69,9 @@ class _VerifierExchange:
     #: Damaged arrivals per message index, for exponential duplicate-
     #: nack suppression (the verifier's half of the storm damper).
     nack_counts: dict[int, int] = field(default_factory=dict)
+    #: Proven Merkle interior nodes for this batch (PROTOCOL.md §14);
+    #: dies with the exchange, so batch boundaries invalidate it.
+    merkle_cache: MerkleVerifyCache = field(default_factory=MerkleVerifyCache)
 
     @property
     def buffered_bytes(self) -> int:
@@ -357,6 +360,7 @@ class VerifierSession:
                 packet.auth_path,
                 key,
                 root,
+                cache=exchange.merkle_cache,
             )
         recomputed = self._hash.mac(key, packet.message, label="s2-verify")
         return recomputed == exchange.pre_signatures[packet.msg_index]

@@ -4,37 +4,60 @@ Small, explicit big-endian writer/reader pair used by
 :mod:`repro.core.packets`. Variable-length fields are 16-bit
 length-prefixed; hash lists are 16-bit counted with a fixed element
 width. Reads validate bounds and raise
-:class:`~repro.core.exceptions.PacketError` on truncation so malformed
+:class:`~repro.core.exceptions.WireError` (a
+:class:`~repro.core.exceptions.PacketError`) on truncation so malformed
 network input can never surface as an :class:`IndexError`.
+
+Hot-path design (PROTOCOL.md §14): integer fields are decoded with
+precompiled :class:`struct.Struct` instances via ``unpack_from`` at an
+explicit offset — no intermediate slice objects, no per-call format
+parsing. The :class:`Reader` accepts any buffer (``bytes``,
+``bytearray``, ``memoryview``) and never copies it; only fields that
+escape the parser (``raw``/``var_bytes``/``hash_list`` results) are
+materialized as ``bytes``, exactly one copy each, because decoded
+packets outlive the datagram buffer they were sliced from. The
+:class:`Writer` keeps the flexible part-list API for cold paths
+(handshakes); packet hot paths use the precompiled header structs in
+:mod:`repro.core.packets` instead.
 """
 
 from __future__ import annotations
 
 import struct
 
-from repro.core.exceptions import PacketError
+from repro.core.exceptions import PacketError, WireError
+
+#: Precompiled big-endian integer codecs, shared by Writer, Reader, and
+#: the packet-header fast paths. Compiling once removes the per-call
+#: format-string parse that dominated ``struct.pack(">H", ...)``.
+U8 = struct.Struct(">B")
+U16 = struct.Struct(">H")
+U32 = struct.Struct(">I")
+U64 = struct.Struct(">Q")
 
 
 class Writer:
     """Append-only big-endian byte builder."""
 
+    __slots__ = ("_parts",)
+
     def __init__(self) -> None:
         self._parts: list[bytes] = []
 
     def u8(self, value: int) -> "Writer":
-        self._parts.append(struct.pack(">B", value))
+        self._parts.append(U8.pack(value))
         return self
 
     def u16(self, value: int) -> "Writer":
-        self._parts.append(struct.pack(">H", value))
+        self._parts.append(U16.pack(value))
         return self
 
     def u32(self, value: int) -> "Writer":
-        self._parts.append(struct.pack(">I", value))
+        self._parts.append(U32.pack(value))
         return self
 
     def u64(self, value: int) -> "Writer":
-        self._parts.append(struct.pack(">Q", value))
+        self._parts.append(U64.pack(value))
         return self
 
     def raw(self, data: bytes) -> "Writer":
@@ -46,7 +69,7 @@ class Writer:
         """16-bit length-prefixed byte string (max 65535 bytes)."""
         if len(data) > 0xFFFF:
             raise ValueError(f"var_bytes field too long: {len(data)}")
-        self.u16(len(data))
+        self._parts.append(U16.pack(len(data)))
         self._parts.append(data)
         return self
 
@@ -54,13 +77,14 @@ class Writer:
         """16-bit counted list of fixed-width hash values."""
         if len(hashes) > 0xFFFF:
             raise ValueError(f"hash list too long: {len(hashes)}")
-        self.u16(len(hashes))
+        parts = self._parts
+        parts.append(U16.pack(len(hashes)))
         for value in hashes:
             if len(value) != width:
                 raise ValueError(
                     f"hash width mismatch: expected {width}, got {len(value)}"
                 )
-            self._parts.append(value)
+            parts.append(value)
         return self
 
     def getvalue(self) -> bytes:
@@ -68,33 +92,70 @@ class Writer:
 
 
 class Reader:
-    """Bounds-checked big-endian byte consumer."""
+    """Bounds-checked big-endian byte consumer.
+
+    Zero-copy: the input buffer is held by reference (``bytes``,
+    ``bytearray`` and ``memoryview`` all work) and integers are
+    unpacked in place at the running offset. ``raw``/``var_bytes``
+    materialize their result as ``bytes`` — decoded fields escape into
+    packet objects that outlive the datagram buffer, so that single
+    copy is the contract, not an accident. For ``bytes`` input the
+    slice itself is that copy; for ``memoryview`` input the zero-copy
+    sub-view is converted explicitly.
+    """
+
+    __slots__ = ("_data", "_len", "_offset", "_is_bytes")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
+        self._len = len(data)
         self._offset = 0
+        # bytes slices already materialize; memoryview/bytearray slices
+        # need an explicit bytes() so no field aliases a mutable or
+        # short-lived buffer.
+        self._is_bytes = type(data) is bytes
 
     def _take(self, n: int) -> bytes:
-        if self._offset + n > len(self._data):
-            raise PacketError(
-                f"truncated packet: wanted {n} bytes at offset {self._offset}, "
-                f"have {len(self._data) - self._offset}"
-            )
-        chunk = self._data[self._offset : self._offset + n]
-        self._offset += n
-        return chunk
+        offset = self._offset
+        end = offset + n
+        if end > self._len:
+            raise WireError(offset, n, self._len - offset)
+        chunk = self._data[offset:end]
+        self._offset = end
+        if self._is_bytes:
+            return chunk
+        return bytes(chunk)
 
     def u8(self) -> int:
-        return self._take(1)[0]
+        offset = self._offset
+        if offset >= self._len:
+            raise WireError(offset, 1, 0)
+        self._offset = offset + 1
+        value = self._data[offset]
+        # bytes/bytearray index to int; a memoryview of a non-byte
+        # format would not, but the codec only ever sees byte buffers.
+        return value if type(value) is int else value[0]
 
     def u16(self) -> int:
-        return struct.unpack(">H", self._take(2))[0]
+        offset = self._offset
+        if offset + 2 > self._len:
+            raise WireError(offset, 2, self._len - offset)
+        self._offset = offset + 2
+        return U16.unpack_from(self._data, offset)[0]
 
     def u32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        offset = self._offset
+        if offset + 4 > self._len:
+            raise WireError(offset, 4, self._len - offset)
+        self._offset = offset + 4
+        return U32.unpack_from(self._data, offset)[0]
 
     def u64(self) -> int:
-        return struct.unpack(">Q", self._take(8))[0]
+        offset = self._offset
+        if offset + 8 > self._len:
+            raise WireError(offset, 8, self._len - offset)
+        self._offset = offset + 8
+        return U64.unpack_from(self._data, offset)[0]
 
     def raw(self, n: int) -> bytes:
         return self._take(n)
@@ -104,15 +165,27 @@ class Reader:
 
     def hash_list(self, width: int) -> list[bytes]:
         count = self.u16()
-        return [self._take(width) for _ in range(count)]
+        offset = self._offset
+        end = offset + count * width
+        if end > self._len:
+            # Report the first element that does not fit, matching what
+            # a per-element loop would have said.
+            fits = (self._len - offset) // width
+            short = offset + fits * width
+            raise WireError(short, width, self._len - short)
+        data = self._data
+        self._offset = end
+        if self._is_bytes:
+            return [data[i : i + width] for i in range(offset, end, width)]
+        return [bytes(data[i : i + width]) for i in range(offset, end, width)]
 
     def expect_end(self) -> None:
         """Raise unless every byte has been consumed."""
-        if self._offset != len(self._data):
+        if self._offset != self._len:
             raise PacketError(
-                f"{len(self._data) - self._offset} trailing bytes after packet"
+                f"{self._len - self._offset} trailing bytes after packet"
             )
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._offset
+        return self._len - self._offset

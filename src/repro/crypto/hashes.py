@@ -51,6 +51,23 @@ class OpCounter:
         if label is not None:
             self.labels[label] = self.labels.get(label, 0) + 1
 
+    def record_hash_batch(
+        self, count: int, nbytes: int, label: str | None = None
+    ) -> None:
+        """Charge ``count`` fixed-input hashes in one call.
+
+        Bulk accounting for tight loops (chain construction, gap walks)
+        that call the raw hash directly: the tallies are identical to
+        ``count`` individual :meth:`record_hash` calls, without the
+        per-call attribute and dict traffic on the hot path.
+        """
+        if count <= 0:
+            return
+        self.hash_ops += count
+        self.hash_bytes += nbytes
+        if label is not None:
+            self.labels[label] = self.labels.get(label, 0) + count
+
     def record_mac(self, nbytes: int, label: str | None = None) -> None:
         self.mac_ops += 1
         self.mac_bytes += nbytes
@@ -129,6 +146,18 @@ class HashFunction:
         """Hash ``data``, counting one fixed-input hash operation."""
         self.counter.record_hash(len(data), label)
         return self._raw(data)
+
+    @property
+    def raw(self) -> Callable[[bytes], bytes]:
+        """The bare digest callable, for counted tight loops.
+
+        Callers looping over ``raw`` must charge the counter themselves
+        via :meth:`OpCounter.record_hash_batch` — the pairing that keeps
+        Table 1 accounting exact while the loop body stays two calls
+        (concat, hash). For uncounted meta-uses prefer
+        :meth:`digest_uncounted`, which documents the exemption.
+        """
+        return self._raw
 
     def digest_uncounted(self, data: bytes) -> bytes:
         """Hash ``data`` without touching the counter.

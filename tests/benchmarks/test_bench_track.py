@@ -136,3 +136,72 @@ class TestTrendMath:
         }
         assert bench_track.compare_trend("demo", payload, 0.15, False) == []
         assert bench_track.compare_trend("demo", payload, 0.15, True)
+
+
+class TestPerfSmokeGate:
+    """The --perf-smoke gate: goodput vs the history-ring median."""
+
+    BENCH = "bench_e2e_modes"
+
+    def payload(self, history, current):
+        return {
+            "history": [{"goodput_bps": v} for v in history],
+            "current": {"goodput_bps": current},
+        }
+
+    def test_at_median_passes(self):
+        p = self.payload([100.0, 200.0, 300.0], 200.0)
+        assert bench_track.perf_smoke(self.BENCH, p) == []
+
+    def test_drop_beyond_ten_percent_fails(self):
+        p = self.payload([200.0, 200.0, 200.0], 179.0)
+        lines = bench_track.perf_smoke(self.BENCH, p)
+        assert len(lines) == 1
+        assert "below the ring median" in lines[0]
+
+    def test_drop_within_ten_percent_passes(self):
+        p = self.payload([200.0, 200.0, 200.0], 181.0)
+        assert bench_track.perf_smoke(self.BENCH, p) == []
+
+    def test_median_is_robust_to_one_bad_generation(self):
+        # One crashed/slow generation in the ring must not drag the
+        # baseline down: the median of [200, 200, 10] is still 200.
+        p = self.payload([200.0, 10.0, 200.0], 150.0)
+        lines = bench_track.perf_smoke(self.BENCH, p)
+        assert len(lines) == 1
+
+    def test_current_cannot_vouch_for_itself(self):
+        # A fast current value is excluded from its own baseline: with
+        # too little *history* the gate stays silent instead of letting
+        # one generation define normal.
+        p = self.payload([200.0], 500.0)
+        assert bench_track.perf_smoke(self.BENCH, p) == []
+
+    def test_ungated_bench_is_ignored(self):
+        p = self.payload([200.0] * 4, 10.0)
+        assert bench_track.perf_smoke("bench_other", p) == []
+
+    def test_missing_metric_is_flagged(self):
+        p = {"history": [{"goodput_bps": 200.0}] * 3, "current": {}}
+        lines = bench_track.perf_smoke(self.BENCH, p)
+        assert len(lines) == 1
+        assert "missing" in lines[0]
+
+    def test_main_exit_code_with_gate(self, tmp_path):
+        ring = [{"goodput_bps": 200.0, "wall_s": 0.01} for _ in range(4)]
+        snapshot = {
+            "schema": 1,
+            "bench": self.BENCH,
+            "current": {"goodput_bps": 100.0, "wall_s": 0.01},
+            "previous": ring[-1],
+            "history": ring,
+        }
+        path = tmp_path / f"BENCH_{self.BENCH}.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        # The 50% collapse trips both the single-step diff and the
+        # gate; without --perf-smoke only the former speaks, and a
+        # within-tolerance single step alone would not.
+        assert bench_track.main(["--dir", str(tmp_path), "--perf-smoke"]) == 1
+        snapshot["current"]["goodput_bps"] = 195.0
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        assert bench_track.main(["--dir", str(tmp_path), "--perf-smoke"]) == 0

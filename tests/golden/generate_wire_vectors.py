@@ -1,0 +1,221 @@
+"""Generator for ``wire_vectors.jsonl`` — run once, against frozen code.
+
+The corpus was produced by the wire codec as it stood *before* the
+hot-path refactor (contiguous chains / zero-copy reader / struct-header
+encode), so the committed bytes are the ground truth the optimized
+codec must reproduce bit for bit. Do NOT regenerate it to make a
+failing differential test pass — a mismatch means the optimization
+moved a wire bit, which is exactly the regression the corpus exists to
+catch. Legitimate regeneration (an intentional, versioned wire change)
+must bump ``CORPUS_VERSION`` and be called out in PROTOCOL.md.
+
+Every vector is deterministic: all variable bytes derive from the
+repo's own DRBG with fixed labels, so re-running the generator on the
+same codec yields the identical file.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate_wire_vectors.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.modes import Mode
+from repro.core.packets import (
+    A1Packet,
+    A2Packet,
+    AckVerdict,
+    HandshakePacket,
+    S1Packet,
+    S2Packet,
+)
+from repro.crypto.drbg import DRBG
+
+CORPUS_VERSION = 1
+OUT = pathlib.Path(__file__).parent / "wire_vectors.jsonl"
+
+#: Digest widths exercised: MMO (16), SHA-1 (20), SHA-256 (32).
+HASH_SIZES = (16, 20, 32)
+#: Batch sizes exercised for batched modes (1 = degenerate, 3 = padded
+#: Merkle tree, 8 = the benches' default batch).
+BATCH_SIZES = (1, 3, 8)
+
+
+def _rng(label: str) -> DRBG:
+    return DRBG(f"golden-wire:{label}")
+
+
+def _hashes(rng: DRBG, n: int, width: int) -> list[bytes]:
+    return [rng.random_bytes(width) for _ in range(n)]
+
+
+def _depth(n: int) -> int:
+    depth, power = 0, 1
+    while power < n:
+        power *= 2
+        depth += 1
+    return depth
+
+
+def s1_vectors(h: int):
+    for mode in Mode:
+        for batch in BATCH_SIZES:
+            rng = _rng(f"s1:{h}:{mode.name}:{batch}")
+            if mode is Mode.BASE and batch != 1:
+                continue
+            if mode is Mode.MERKLE:
+                n_sigs = 1
+            elif mode is Mode.MERKLE_CUMULATIVE:
+                n_sigs = max(1, batch // 2)
+            else:
+                n_sigs = batch
+            for reliable in (False, True):
+                yield (
+                    f"s1-{mode.name.lower()}-b{batch}"
+                    + ("-rel" if reliable else ""),
+                    S1Packet(
+                        assoc_id=rng.random_int(64),
+                        seq=rng.random_int(32),
+                        mode=mode,
+                        chain_index=2 * batch + 1,
+                        chain_element=rng.random_bytes(h),
+                        pre_signatures=_hashes(rng, n_sigs, h),
+                        message_count=batch,
+                        reliable=reliable,
+                    ),
+                )
+
+
+def a1_vectors(h: int):
+    for batch in BATCH_SIZES:
+        rng = _rng(f"a1:{h}:{batch}")
+        base = dict(
+            assoc_id=rng.random_int(64),
+            seq=rng.random_int(32),
+            ack_index=2 * batch + 1,
+            ack_element=rng.random_bytes(h),
+            echo_sig_index=2 * batch + 1,
+            echo_sig_element=rng.random_bytes(h),
+        )
+        yield f"a1-plain-b{batch}", A1Packet(**base)
+        yield (
+            f"a1-preacks-b{batch}",
+            A1Packet(
+                **base,
+                pre_acks=_hashes(rng, batch, h),
+                pre_nacks=_hashes(rng, batch, h),
+            ),
+        )
+        yield f"a1-amt-b{batch}", A1Packet(**base, amt_root=rng.random_bytes(h))
+
+
+def s2_vectors(h: int):
+    for batch in BATCH_SIZES:
+        for size in (0, 1, 512):
+            rng = _rng(f"s2:{h}:{batch}:{size}")
+            yield (
+                f"s2-b{batch}-m{size}",
+                S2Packet(
+                    assoc_id=rng.random_int(64),
+                    seq=rng.random_int(32),
+                    disclosed_index=2 * batch,
+                    disclosed_element=rng.random_bytes(h),
+                    msg_index=batch - 1,
+                    message=rng.random_bytes(size),
+                    auth_path=_hashes(rng, _depth(batch), h),
+                ),
+            )
+
+
+def a2_vectors(h: int):
+    for batch in BATCH_SIZES:
+        for n_verdicts in sorted({0, 1, batch}):
+            rng = _rng(f"a2:{h}:{batch}:{n_verdicts}")
+            verdicts = [
+                AckVerdict(
+                    msg_index=i,
+                    is_ack=bool(i % 2),
+                    secret=rng.random_bytes(16),
+                    path=_hashes(rng, _depth(batch), h),
+                )
+                for i in range(n_verdicts)
+            ]
+            yield (
+                f"a2-b{batch}-v{n_verdicts}",
+                A2Packet(
+                    assoc_id=rng.random_int(64),
+                    seq=rng.random_int(32),
+                    disclosed_index=2 * batch,
+                    disclosed_element=rng.random_bytes(h),
+                    verdicts=verdicts,
+                ),
+            )
+
+
+def handshake_vectors(h: int):
+    name = {16: "mmo", 20: "sha1", 32: "sha256"}[h]
+    for is_response in (False, True):
+        for protected in (False, True):
+            rng = _rng(f"hs:{h}:{is_response}:{protected}")
+            yield (
+                ("hs2" if is_response else "hs1")
+                + ("-protected" if protected else ""),
+                HandshakePacket(
+                    assoc_id=rng.random_int(64),
+                    seq=0,
+                    is_response=is_response,
+                    hash_name=name,
+                    nonce=rng.random_bytes(16),
+                    sig_anchor=rng.random_bytes(h),
+                    sig_chain_length=2048,
+                    ack_anchor=rng.random_bytes(h),
+                    ack_chain_length=2048,
+                    peer_nonce=rng.random_bytes(16) if is_response else b"",
+                    public_key=rng.random_bytes(64) if protected else b"",
+                    signature=rng.random_bytes(48) if protected else b"",
+                ),
+            )
+
+
+def generate() -> list[dict]:
+    vectors = []
+    for h in HASH_SIZES:
+        families = (
+            s1_vectors(h),
+            a1_vectors(h),
+            s2_vectors(h),
+            a2_vectors(h),
+            handshake_vectors(h),
+        )
+        for family in families:
+            for name, packet in family:
+                vectors.append(
+                    {
+                        "name": f"{name}-h{h}",
+                        "hash_size": h,
+                        "type": type(packet).__name__,
+                        "hex": packet.encode().hex(),
+                    }
+                )
+    names = [v["name"] for v in vectors]
+    assert len(names) == len(set(names)), "vector names must be unique"
+    return vectors
+
+
+def main() -> None:
+    vectors = generate()
+    with OUT.open("w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps({"corpus_version": CORPUS_VERSION, "count": len(vectors)})
+            + "\n"
+        )
+        for vector in vectors:
+            fh.write(json.dumps(vector, sort_keys=True) + "\n")
+    print(f"wrote {len(vectors)} vectors to {OUT}")
+
+
+if __name__ == "__main__":
+    main()
