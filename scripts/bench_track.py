@@ -64,6 +64,11 @@ MIN_TREND_POINTS = 3
 #: simulated-time and deterministic).
 PERF_SMOKE_GATES = {
     "bench_e2e_modes": ("goodput_bps", 0.10),
+    # Saturation gate for the flows×relays grid: simulated-time goodput
+    # through the directory-coordinated relay mesh. Deterministic, so a
+    # slide below the ring median means the reactor/endpoint hot path
+    # (or the relay queue model) genuinely regressed.
+    "bench_flow_scaling": ("grid_goodput_msgs_per_s", 0.10),
 }
 
 

@@ -48,8 +48,9 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 if [ "$RUN_BENCH" = "1" ]; then
     # The suite above just wrote fresh results/bench/BENCH_*.json
     # snapshots; diff them against the previous generation, and gate
-    # the headline hot-path metrics (e2e goodput) against the median of
-    # their history ring (>10% below median fails).
+    # the headline hot-path metrics (e2e goodput, flow-scaling grid
+    # saturation goodput) against the median of their history ring
+    # (>10% below median fails).
     echo "== bench regression tracking + perf smoke =="
     python scripts/bench_track.py --perf-smoke
 fi

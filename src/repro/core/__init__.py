@@ -21,8 +21,14 @@ from repro.core.modes import Mode, ReliabilityMode
 from repro.core.hashchain import HashChain, ChainVerifier
 from repro.core.merkle import MerkleTree, MerkleVerifyCache, verify_merkle_path
 from repro.core.acktree import AckTree, verify_ack_opening
+from repro.core.directory import RelayDirectory, RelayRecord
 from repro.core.endpoint import AlphaEndpoint, EndpointConfig
-from repro.core.resilience import ExchangeFailed, ResilienceStats, RttEstimator
+from repro.core.resilience import (
+    ExchangeFailed,
+    PathManager,
+    ResilienceStats,
+    RttEstimator,
+)
 from repro.core.exceptions import (
     AlphaError,
     AuthenticationError,
@@ -44,6 +50,9 @@ __all__ = [
     "AlphaEndpoint",
     "EndpointConfig",
     "ExchangeFailed",
+    "PathManager",
+    "RelayDirectory",
+    "RelayRecord",
     "ResilienceStats",
     "RttEstimator",
     "AlphaError",

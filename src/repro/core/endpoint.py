@@ -21,6 +21,7 @@ simulator. Applications typically use exactly four methods::
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -145,6 +146,14 @@ class EndpointConfig:
     #: recovers the association instead of letting it die silently.
     #: Only consulted while dead-peer detection is enabled.
     escape_is_dead_peer: bool = True
+    #: Schedule timer work (handshake retransmits, RTO deadlines, rekey
+    #: checks) on a deadline heap so :meth:`AlphaEndpoint.poll` costs
+    #: O(due timers + dirty associations), not O(total associations) —
+    #: the difference between hundreds and tens of thousands of live
+    #: associations per process (PROTOCOL.md §15). ``False`` restores
+    #: the historical every-association scan; the differential property
+    #: suite drives both and asserts identical protocol behaviour.
+    deadline_heap: bool = True
 
     def channel_config(self) -> ChannelConfig:
         return ChannelConfig(
@@ -195,6 +204,17 @@ class Association:
     #: at the last spike check, so the trigger measures the delta since
     #: the last completion instead of lifetime totals.
     spike_marker: tuple = (0, 0)
+    #: Earliest deadline currently armed for this association on the
+    #: endpoint's timer heap (``None`` when no timer is armed). Purely
+    #: a push-suppression mark: later deadlines than this may linger as
+    #: stale heap entries, which cost one spurious no-op service each.
+    armed_deadline: float | None = None
+    #: Monotonic installation order on the owning endpoint. Heap-mode
+    #: poll turns service due associations in this order so a turn
+    #: emits packets exactly as the historical full scan (dict
+    #: insertion order) did — packet order is behaviour wherever the
+    #: link draws per-packet randomness.
+    install_seq: int = 0
 
 
 @dataclass
@@ -234,6 +254,17 @@ class AlphaEndpoint:
         self.hash_fn: HashFunction = get_hash(self.config.hash_name, counter)
         self._by_peer: dict[str, Association] = {}
         self._by_id: dict[int, Association] = {}
+        #: Deadline heap (PROTOCOL.md §15): ``(deadline, assoc_id)``
+        #: entries, earliest first. Stale entries (deleted associations,
+        #: superseded deadlines) are dropped lazily on pop.
+        self._timers: list[tuple[float, int]] = []
+        #: Associations with non-timer work pending (fresh sends, packet
+        #: activity, retirement) that the next :meth:`poll` must service
+        #: regardless of any armed deadline.
+        self._dirty: set[int] = set()
+        self._use_heap = self.config.deadline_heap
+        #: Installation counter backing ``Association.install_seq``.
+        self._installs = 0
         #: Endpoint-level resilience counters (handshake failures, dead
         #: peers, parse drops); per-signer counters are folded in by
         #: :meth:`resilience_stats`.
@@ -276,6 +307,7 @@ class AlphaEndpoint:
             # Reconnecting after dead-peer detection: retire the DOWN
             # association and let the fresh handshake supersede it.
             existing.retired = True
+            self._mark_dirty(existing)
             del self._by_peer[peer]
         assoc_id = self.rng.random_int(63)
         chains = self._create_chains()
@@ -297,7 +329,8 @@ class AlphaEndpoint:
             hs_deadline=now + self.config.retransmit_timeout_s,
         )
         self._by_peer[peer] = assoc
-        self._by_id[assoc_id] = assoc
+        self._admit(assoc)
+        self._arm(assoc, assoc.hs_deadline)
         if self.obs.enabled:
             self.obs.tracer.emit(
                 now, self.name, EventKind.HS_SEND, assoc_id, info="hs1"
@@ -329,6 +362,7 @@ class AlphaEndpoint:
         if not assoc.established:
             raise ProtocolError(f"association with {peer} not yet established")
         assoc.signer.reconfigure(config)
+        self._mark_dirty(assoc)
 
     def send(self, peer: str, message: bytes) -> None:
         """Queue a message for integrity-protected delivery to ``peer``."""
@@ -341,6 +375,7 @@ class AlphaEndpoint:
             assoc.pending_sends.append(message)
             return
         assoc.signer.submit(message)
+        self._mark_dirty(assoc)
 
     def peer_down(self, peer: str) -> bool:
         """True once dead-peer detection declared ``peer`` unreachable."""
@@ -390,44 +425,174 @@ class AlphaEndpoint:
             for s2 in assoc.signer.handle_a2(packet, now):
                 out.replies.append((src, s2))
         self._collect_signer_output(assoc, now, out)
+        # Packet activity moved deadlines and may have completed
+        # exchanges: the next poll turn must re-check rekey thresholds
+        # and retirement drain for this association.
+        self._mark_dirty(assoc)
         return out
 
     def poll(self, now: float) -> EndpointOutput:
-        """Drive timers and start queued exchanges on every association."""
+        """Drive due timers and dirty associations.
+
+        With ``deadline_heap`` (the default) only associations whose
+        armed deadline has passed — plus those marked dirty by packet
+        activity, sends, or retirement — are serviced; everything else
+        is untouched, so the cost of a poll turn is driven by due work,
+        not by how many associations exist. With the heap disabled this
+        degrades to the historical full scan (same protocol behaviour,
+        O(n) per turn — kept as the differential-test oracle).
+        """
         out = EndpointOutput()
-        for assoc in list(self._by_id.values()):
-            if not assoc.established:
-                # Initiator-side HS1 retransmission (the paper notes S1
-                # and A1 class packets need robust retransmission; the
-                # same holds for the optional handshake). The retry cap
-                # is terminal: a handshake against a dead peer must fail
-                # observably, not retransmit forever.
-                if assoc.initiator and now >= assoc.hs_deadline:
-                    if assoc.hs_retries >= self.config.max_retries:
-                        self._fail_handshake(assoc, out, now)
-                    else:
-                        assoc.hs_retries += 1
-                        assoc.hs_deadline = now + self.config.retransmit_timeout_s
-                        out.replies.append((assoc.peer, assoc.hs_bytes))
-                        if self.obs.enabled:
-                            self.obs.tracer.emit(
-                                now, self.name, EventKind.RETRANSMIT,
-                                assoc.assoc_id,
-                                info=f"hs1 try={assoc.hs_retries}",
-                            )
-                continue
-            self._collect_signer_output(assoc, now, out)
-            self._maybe_rekey(assoc, now, out)
-            if assoc.retired and assoc.signer.idle:
-                # Preserve the drained association's counters before it goes.
-                self._drained.merge(assoc.signer.stats)
-                self._drained_rto_peak = max(
-                    self._drained_rto_peak, assoc.signer.max_rto_streak_peak
-                )
-                if assoc.verifier is not None:
-                    self._drained.nack_suppressed += assoc.verifier.nacks_suppressed
-                del self._by_id[assoc.assoc_id]
+        if not self._use_heap:
+            for assoc in list(self._by_id.values()):
+                self._service_association(assoc, now, out)
+            return out
+        due: dict[int, Association] = {}
+        while self._timers and self._timers[0][0] <= now:
+            deadline, assoc_id = heapq.heappop(self._timers)
+            assoc = self._by_id.get(assoc_id)
+            if assoc is None:
+                continue  # association already drained; stale entry
+            if assoc.armed_deadline is not None and deadline >= assoc.armed_deadline:
+                assoc.armed_deadline = None
+            due[assoc_id] = assoc
+        if self._dirty:
+            for assoc_id in self._dirty:
+                assoc = self._by_id.get(assoc_id)
+                if assoc is not None:
+                    due[assoc_id] = assoc
+            self._dirty.clear()
+        if self.config.adaptive:
+            # Controllers are time-sampled feedback loops: the historical
+            # full scan ticked every one each poll turn, and that cadence
+            # is what the EWMA sampling was calibrated against. Keep it
+            # exactly — inside the decision interval the tick is a cheap
+            # early return, and due associations tick in their own
+            # service slot. A retune makes the association due so the
+            # new channel config shapes exchanges started this turn.
+            for assoc in list(self._by_id.values()):
+                if (
+                    assoc.controller is None
+                    or not assoc.established
+                    or assoc.assoc_id in due
+                ):
+                    continue
+                if assoc.controller.poll(now) is not None:
+                    due[assoc.assoc_id] = assoc
+        # Installation order, not heap-pop order: the historical scan
+        # iterated ``_by_id`` insertion order, and a turn's packet order
+        # is behaviour wherever the link draws per-packet randomness.
+        for assoc in sorted(due.values(), key=lambda a: a.install_seq):
+            self._service_association(assoc, now, out)
         return out
+
+    def next_deadline(self) -> float | None:
+        """Earliest armed timer, or ``None`` when nothing is scheduled.
+
+        Event loops (the reactor, ``UdpTransport.pump``) use this to
+        bound their select timeout. May be conservatively early when a
+        stale heap entry survives — never late.
+        """
+        if not self._use_heap:
+            # Full-scan mode has no timer book-keeping: every turn is
+            # potentially due, exactly as the historical loop assumed.
+            return 0.0 if self._by_id else None
+        if self._dirty:
+            return 0.0
+        return self._timers[0][0] if self._timers else None
+
+    def needs_service(self, now: float) -> bool:
+        """True when :meth:`poll` at ``now`` would have work to do."""
+        if not self._use_heap:
+            return bool(self._by_id)
+        if self._dirty:
+            return True
+        return bool(self._timers) and self._timers[0][0] <= now
+
+    def _service_association(
+        self, assoc: Association, now: float, out: EndpointOutput
+    ) -> None:
+        """One association's poll turn: timers, rekey check, drain."""
+        if not assoc.established:
+            # Initiator-side HS1 retransmission (the paper notes S1
+            # and A1 class packets need robust retransmission; the
+            # same holds for the optional handshake). The retry cap
+            # is terminal: a handshake against a dead peer must fail
+            # observably, not retransmit forever.
+            if assoc.initiator and now >= assoc.hs_deadline:
+                if assoc.hs_retries >= self.config.max_retries:
+                    self._fail_handshake(assoc, out, now)
+                    return
+                assoc.hs_retries += 1
+                assoc.hs_deadline = now + self.config.retransmit_timeout_s
+                out.replies.append((assoc.peer, assoc.hs_bytes))
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        now, self.name, EventKind.RETRANSMIT,
+                        assoc.assoc_id,
+                        info=f"hs1 try={assoc.hs_retries}",
+                    )
+            if assoc.initiator:
+                self._arm(assoc, assoc.hs_deadline)
+            return
+        self._collect_signer_output(assoc, now, out)
+        self._maybe_rekey(assoc, now, out)
+        if assoc.retired and assoc.signer.idle:
+            # Preserve the drained association's counters before it goes.
+            self._drained.merge(assoc.signer.stats)
+            self._drained_rto_peak = max(
+                self._drained_rto_peak, assoc.signer.max_rto_streak_peak
+            )
+            if assoc.verifier is not None:
+                self._drained.nack_suppressed += assoc.verifier.nacks_suppressed
+            del self._by_id[assoc.assoc_id]
+            # Release the peer mapping too: a drained association left
+            # in ``_by_peer`` would pin the whole signer/verifier state
+            # in memory forever (the leak every long-lived endpoint
+            # would eventually die of).
+            if self._by_peer.get(assoc.peer) is assoc:
+                del self._by_peer[assoc.peer]
+            return
+        self._rearm(assoc, now)
+
+    # -- deadline heap plumbing --------------------------------------------------
+
+    def _admit(self, assoc: Association) -> None:
+        """Insert into ``_by_id``, stamping the installation order."""
+        self._installs += 1
+        assoc.install_seq = self._installs
+        self._by_id[assoc.assoc_id] = assoc
+
+    def _arm(self, assoc: Association, deadline: float | None) -> None:
+        """Push a timer unless an equal-or-earlier one is already armed."""
+        if not self._use_heap or deadline is None:
+            return
+        armed = assoc.armed_deadline
+        if armed is not None and armed <= deadline:
+            return
+        assoc.armed_deadline = deadline
+        heapq.heappush(self._timers, (deadline, assoc.assoc_id))
+
+    def _rearm(self, assoc: Association, now: float) -> None:
+        """Arm the association's next natural deadline after a service."""
+        if not self._use_heap:
+            return
+        if not assoc.established:
+            if assoc.initiator:
+                self._arm(assoc, assoc.hs_deadline)
+            return
+        deadline = assoc.signer.next_deadline()
+        if assoc.controller is not None:
+            # Adaptive associations keep a heartbeat so the controller
+            # still ticks on its decision interval while idle.
+            tick = now + assoc.controller.config.decision_interval_s
+            deadline = tick if deadline is None else min(deadline, tick)
+        self._arm(assoc, deadline)
+
+    def _mark_dirty(self, assoc: Association) -> None:
+        """Queue the association for service on the next poll turn."""
+        if self._use_heap:
+            self._dirty.add(assoc.assoc_id)
 
     @property
     def busy(self) -> bool:
@@ -461,8 +626,9 @@ class AlphaEndpoint:
             previous = self._by_peer.get(peer)
             if previous is not None and previous.assoc_id != assoc_id:
                 previous.retired = True  # superseded by the peer's re-key
+                self._mark_dirty(previous)
             self._by_peer[peer] = assoc
-            self._by_id[assoc_id] = assoc
+            self._admit(assoc)
         channel_config = self.config.channel_config()
         link = self.links.link(peer) if self._track_links else None
         if link is not None:
@@ -483,6 +649,10 @@ class AlphaEndpoint:
             node=self.name,
             link=link,
         )
+        # With re-keying armed, an exhausted chain parks the backlog for
+        # the replacement association to migrate; with it off, exhaustion
+        # must still raise out of poll() (there is no rescue coming).
+        assoc.signer.defer_exhaustion = self.config.rekey_threshold > 0
         if self.paths is not None:
             # Terminal rto-escape interception: the signer consults this
             # before failing an exchange; a successful path switch lets
@@ -530,6 +700,7 @@ class AlphaEndpoint:
             # Seed after the pending sends are queued, so the inherited
             # configuration's batch size sees the real backlog.
             assoc.controller.seed_from_link(now)
+        self._mark_dirty(assoc)
         return assoc
 
     def _on_handshake(
@@ -631,8 +802,9 @@ class AlphaEndpoint:
             hs_bytes=packet.encode(),
             hs_deadline=now + self.config.retransmit_timeout_s,
         )
-        self._by_id[new_id] = replacement
+        self._admit(replacement)
         assoc.replacement_id = new_id
+        self._arm(replacement, replacement.hs_deadline)
         out.replies.append((assoc.peer, replacement.hs_bytes))
         if self.obs.enabled:
             self.obs.tracer.emit(
@@ -659,6 +831,8 @@ class AlphaEndpoint:
             while current.signer._queue:
                 assoc.signer.submit(current.signer._queue.popleft())
         current.retired = True
+        self._mark_dirty(current)
+        self._mark_dirty(assoc)
         self._by_peer[assoc.peer] = assoc
 
     def _collect_signer_output(
@@ -799,6 +973,7 @@ class AlphaEndpoint:
             while assoc.signer._queue:
                 replacement.pending_sends.append(assoc.signer._queue.popleft())
             assoc.retired = True
+            self._mark_dirty(assoc)
             if self._by_peer.get(assoc.peer) is assoc:
                 self._by_peer[assoc.peer] = replacement
         else:
@@ -844,6 +1019,15 @@ class AlphaEndpoint:
         del self._by_id[assoc.assoc_id]
         if self._by_peer.get(assoc.peer) is assoc:
             del self._by_peer[assoc.peer]
+        parent = self._by_peer.get(assoc.peer)
+        if parent is not None and parent.replacement_id == assoc.assoc_id:
+            # The failed handshake was a re-key replacement: clear the
+            # marker so _maybe_rekey can try again, instead of leaving
+            # the association wedged on a replacement that will never
+            # establish (it would otherwise ride its chains to
+            # exhaustion and stall every queued message).
+            parent.replacement_id = None
+            self._mark_dirty(parent)
 
     def resilience_stats(self) -> ResilienceStats:
         """Aggregate counters: endpoint-level, drained, and live signers.

@@ -181,6 +181,14 @@ class ResilienceStats:
     corrupt_drops: int = 0
     #: Datagrams whose processing raised out of the wire parser.
     malformed_drops: int = 0
+    #: Datagrams dropped because the source address is not in the peer
+    #: directory (mid-association locator updates / NAT rebinds land
+    #: here until the directory is refreshed — observable, not silent).
+    unknown_source_drops: int = 0
+    #: Outbound packets dropped because the peer has no registered
+    #: address (transport-level black hole; each drop also surfaces a
+    #: failure record).
+    unroutable_drops: int = 0
     #: Mid-association path failovers: the endpoint classified a hop
     #: dead and switched the association to a ranked backup path.
     failovers: int = 0

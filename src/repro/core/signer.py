@@ -225,6 +225,13 @@ class SignerSession:
             max_rto_s=config.rto_max_s,
         )
         self.stats = ResilienceStats()
+        #: When the owner can re-key (endpoint with ``rekey_threshold``
+        #: armed), an exhausted chain leaves the backlog queued for the
+        #: replacement association to migrate instead of raising
+        #: ChainExhaustedError out of ``poll()`` mid-event-loop. With
+        #: re-keying off there is no migration coming, so exhaustion
+        #: still surfaces loudly.
+        self.defer_exhaustion = False
         #: EWMA of submitted payload sizes — an adaptation signal (the
         #: best mode depends on message size, paper Section 3.3).
         self.mean_message_size = 0.0
@@ -260,6 +267,26 @@ class SignerSession:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def next_deadline(self) -> float | None:
+        """Earliest instant this session needs :meth:`poll` again.
+
+        ``None`` means the session is quiescent: no exchange in flight
+        and nothing startable queued — polling before new input arrives
+        would be a no-op. ``0.0`` flags work that is startable *now*
+        (queued messages with a free exchange slot and chain runway).
+        The endpoint's deadline heap schedules from this, so an idle
+        association costs nothing per poll turn.
+        """
+        if (
+            self._queue
+            and len(self._exchanges) < self.config.max_outstanding
+            and (self.chain.remaining_exchanges > 0 or not self.defer_exhaustion)
+        ):
+            return 0.0
+        if not self._exchanges:
+            return None
+        return min(exchange.deadline for exchange in self._exchanges.values())
 
     def reconfigure(self, config: ChannelConfig) -> None:
         """Switch mode/batching for *future* exchanges.
@@ -365,6 +392,12 @@ class SignerSession:
                     )
                 self._obs.registry.counter("signer.retransmits").inc()
         while self._queue and len(self._exchanges) < self.config.max_outstanding:
+            if self.chain.remaining_exchanges <= 0 and self.defer_exhaustion:
+                # Out of chain elements: leave the backlog queued for the
+                # re-key migration instead of raising ChainExhaustedError
+                # out of the event loop (the replacement handshake may
+                # still be in flight).
+                break
             out.append(self._start_exchange(now))
         return out
 

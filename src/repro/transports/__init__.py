@@ -10,9 +10,14 @@ provided:
   runs endpoints over real sockets (demonstrated over loopback in the
   test suite). This is what a deployment on actual wireless interfaces
   would start from.
+
+:mod:`repro.transports.reactor` multiplexes many UDP transports on a
+single ``selectors`` loop, scheduling timer work from the endpoints'
+deadline heaps (PROTOCOL.md §15).
 """
 
 from repro.transports.memory import MemoryNetwork
+from repro.transports.reactor import Reactor
 from repro.transports.udp import UdpTransport
 
-__all__ = ["MemoryNetwork", "UdpTransport"]
+__all__ = ["MemoryNetwork", "Reactor", "UdpTransport"]

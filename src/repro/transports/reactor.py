@@ -1,0 +1,117 @@
+"""Reactor: one ``selectors`` loop multiplexing many UDP transports.
+
+``UdpTransport.pump`` is a fine event loop for one endpoint, but it
+owns a private selector and a private timeout — running N transports
+means N sequential ``select()`` calls per turn, each paying its full
+timeout even when another socket is already readable. The reactor
+inverts that: every registered transport's socket sits in one selector,
+and each :meth:`Reactor.run_once` turn
+
+1. computes the select timeout from the earliest pending endpoint
+   deadline across *all* transports (``UdpTransport.next_deadline``,
+   backed by the endpoint's deadline heap — PROTOCOL.md §15),
+2. drains readable sockets through ``service_socket`` (each bounded by
+   its per-turn datagram budget, so one flooded socket cannot starve
+   the rest), and
+3. runs ``service_timers`` only on endpoints that actually have due
+   work (``AlphaEndpoint.needs_service``).
+
+Step 3 is what makes 10k mostly-idle associations cheap: an idle
+endpoint contributes neither a select wakeup nor a poll scan.
+"""
+
+from __future__ import annotations
+
+import selectors
+import time
+
+from repro.transports.udp import UdpTransport
+
+
+class Reactor:
+    """Drives any number of :class:`UdpTransport`\\ s on one selector."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._selector = selectors.DefaultSelector()
+        self._transports: list[UdpTransport] = []
+        self.closed = False
+
+    @property
+    def transports(self) -> tuple[UdpTransport, ...]:
+        return tuple(self._transports)
+
+    def add(self, transport: UdpTransport) -> UdpTransport:
+        """Register a transport; the reactor now owns its IO turns."""
+        if self.closed:
+            raise RuntimeError("reactor is closed")
+        if transport in self._transports:
+            raise ValueError("transport already registered")
+        self._selector.register(
+            transport.fileno(), selectors.EVENT_READ, data=transport
+        )
+        self._transports.append(transport)
+        return transport
+
+    def remove(self, transport: UdpTransport) -> None:
+        """Unregister a transport (it stays open; pump it yourself)."""
+        self._transports.remove(transport)
+        self._selector.unregister(transport.fileno())
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending endpoint deadline across all transports."""
+        deadlines = [
+            d for t in self._transports
+            if (d := t.next_deadline()) is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def run_once(self, max_wait_s: float = 0.05) -> int:
+        """One reactor turn; returns the number of datagrams processed.
+
+        Blocks at most ``max_wait_s``, less if an endpoint deadline is
+        nearer; returns immediately when timer work is already due.
+        """
+        if self.closed:
+            raise RuntimeError("reactor is closed")
+        now = self._clock()
+        timeout = max_wait_s
+        deadline = self.next_deadline()
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - now))
+        processed = 0
+        for key, _events in self._selector.select(timeout):
+            processed += key.data.service_socket()
+        now = self._clock()
+        for transport in self._transports:
+            if transport.endpoint.needs_service(now):
+                transport.service_timers()
+        return processed
+
+    def run_until(self, predicate, timeout_s: float = 5.0,
+                  max_wait_s: float = 0.02) -> bool:
+        """Run turns until ``predicate()`` is true or the deadline passes."""
+        deadline = self._clock() + timeout_s
+        while self._clock() < deadline:
+            self.run_once(max_wait_s)
+            if predicate():
+                return True
+        return predicate()
+
+    def close(self, close_transports: bool = True) -> None:
+        """Tear the loop down (and, by default, every transport in it)."""
+        if self.closed:
+            return
+        for transport in self._transports:
+            self._selector.unregister(transport.fileno())
+            if close_transports:
+                transport.close()
+        self._transports.clear()
+        self._selector.close()
+        self.closed = True
+
+    def __enter__(self) -> "Reactor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

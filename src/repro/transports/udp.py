@@ -7,6 +7,16 @@ are hash chains, not addresses, so the mapping is pure transport
 plumbing (and may change mid-association, e.g. after a HIP-style
 locator update).
 
+A transport can be driven two ways:
+
+- standalone, via :meth:`UdpTransport.pump` — one select + read + timer
+  turn, the historical single-endpoint loop;
+- multiplexed, by registering it with a
+  :class:`~repro.transports.reactor.Reactor`, which owns one selector
+  across many transports and calls :meth:`service_socket` /
+  :meth:`service_timers` as readiness and deadlines demand
+  (PROTOCOL.md §15).
+
 The test suite exercises this over loopback; a real deployment would
 bind it to a mesh interface. Relays would run
 :class:`~repro.core.relay.RelayEngine` inside a packet-forwarding hook
@@ -20,7 +30,7 @@ import socket
 import time
 
 from repro.core.endpoint import AlphaEndpoint
-from repro.core.resilience import ResilienceStats
+from repro.core.resilience import ExchangeFailed, ResilienceStats
 from repro.obs import EventKind
 
 _MAX_DATAGRAM = 65507
@@ -34,12 +44,20 @@ class UdpTransport:
         endpoint: AlphaEndpoint,
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock=time.monotonic,
+        max_datagrams_per_turn: int = 64,
     ) -> None:
+        if max_datagrams_per_turn < 1:
+            raise ValueError("need a positive per-turn datagram budget")
         self.endpoint = endpoint
         #: The endpoint's observability context (tracer + registry);
         #: disabled unless the endpoint enabled it.
         self.obs = endpoint.obs
         self._clock = clock
+        #: Per-turn read budget: a datagram flood can make the socket
+        #: readable forever, and an unbounded drain would starve the
+        #: endpoint's timers (retransmits, handshake deadlines). Excess
+        #: datagrams stay in the kernel buffer for the next turn.
+        self.max_datagrams_per_turn = max_datagrams_per_turn
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.bind(bind)
         self._socket.setblocking(False)
@@ -51,14 +69,18 @@ class UdpTransport:
         self.received: list[tuple[str, bytes]] = []
         self.reports: list = []
         self.failures: list = []
-        #: Transport-level counters: datagrams whose processing raised
-        #: out of the wire parser (malformed, truncated, hostile input).
+        #: Transport-level counters: malformed datagrams, unknown-source
+        #: drops, unroutable sends.
         self.stats = ResilienceStats()
         self.closed = False
 
     @property
     def address(self) -> tuple[str, int]:
         return self._socket.getsockname()
+
+    def fileno(self) -> int:
+        """The socket's file descriptor (for external selector loops)."""
+        return self._socket.fileno()
 
     def register_peer(self, name: str, address: tuple[str, int]) -> None:
         """Teach the transport where a named peer currently lives."""
@@ -87,42 +109,75 @@ class UdpTransport:
         if self.closed:
             raise RuntimeError("transport is closed")
         processed = 0
-        events = self._selector.select(timeout_s)
-        if events:
-            while True:
-                try:
-                    data, address = self._socket.recvfrom(_MAX_DATAGRAM)
-                except BlockingIOError:
-                    break
-                processed += 1
-                src = self._names_by_address.get(address)
-                if src is None:
-                    continue  # unknown sender: not in the peer directory
+        if self._selector.select(timeout_s):
+            processed = self.service_socket()
+        self.service_timers()
+        return processed
+
+    def service_socket(self) -> int:
+        """Drain up to the per-turn budget of ready datagrams.
+
+        Reactor-facing half of :meth:`pump`: called when the socket is
+        readable; never blocks. Returns the number of datagrams read.
+        """
+        if self.closed:
+            raise RuntimeError("transport is closed")
+        processed = 0
+        while processed < self.max_datagrams_per_turn:
+            try:
+                data, address = self._socket.recvfrom(_MAX_DATAGRAM)
+            except BlockingIOError:
+                break
+            processed += 1
+            src = self._names_by_address.get(address)
+            if src is None:
+                # Unknown sender: not in the peer directory. Common
+                # mid-association (locator update / NAT rebind before
+                # register_peer catches up) — count it so the operator
+                # can see the directory lagging instead of losing the
+                # traffic invisibly.
+                self.stats.unknown_source_drops += 1
                 if self.obs.enabled:
                     self.obs.tracer.emit(
-                        self._clock(), self.endpoint.name, EventKind.UDP_RX,
-                        info=f"src={src} bytes={len(data)}",
+                        self._clock(), self.endpoint.name,
+                        EventKind.PARSE_DROP,
+                        info=f"udp unknown-source {address[0]}:{address[1]}",
                     )
-                    self.obs.registry.counter("udp.datagrams_rx").inc()
-                try:
-                    out = self.endpoint.on_packet(data, src, self._clock())
-                except Exception:
-                    # A malformed or hostile datagram must never take the
-                    # event loop down: drop it, count it, keep pumping.
-                    # (The endpoint already swallows clean PacketErrors;
-                    # this guards against parse bugs deeper in the stack.)
-                    self.stats.malformed_drops += 1
-                    if self.obs.enabled:
-                        self.obs.tracer.emit(
-                            self._clock(), self.endpoint.name,
-                            EventKind.PARSE_DROP, info=f"udp src={src}",
-                        )
-                        self.obs.registry.counter("udp.malformed_drops").inc()
-                    continue
-                self._dispatch(out)
-        out = self.endpoint.poll(self._clock())
-        self._dispatch(out)
+                    self.obs.registry.counter("udp.unknown_source_drops").inc()
+                continue
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    self._clock(), self.endpoint.name, EventKind.UDP_RX,
+                    info=f"src={src} bytes={len(data)}",
+                )
+                self.obs.registry.counter("udp.datagrams_rx").inc()
+            try:
+                out = self.endpoint.on_packet(data, src, self._clock())
+            except Exception:
+                # A malformed or hostile datagram must never take the
+                # event loop down: drop it, count it, keep pumping.
+                # (The endpoint already swallows clean PacketErrors;
+                # this guards against parse bugs deeper in the stack.)
+                self.stats.malformed_drops += 1
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        self._clock(), self.endpoint.name,
+                        EventKind.PARSE_DROP, info=f"udp src={src}",
+                    )
+                    self.obs.registry.counter("udp.malformed_drops").inc()
+                continue
+            self._dispatch(out)
         return processed
+
+    def service_timers(self) -> None:
+        """Run the endpoint's timer turn and transmit what it produced."""
+        if self.closed:
+            raise RuntimeError("transport is closed")
+        self._dispatch(self.endpoint.poll(self._clock()))
+
+    def next_deadline(self) -> float | None:
+        """Earliest endpoint timer — the reactor's select-timeout bound."""
+        return self.endpoint.next_deadline()
 
     def run_until(self, predicate, timeout_s: float = 5.0, step_s: float = 0.02) -> bool:
         """Pump until ``predicate()`` is true or the deadline passes."""
@@ -166,6 +221,28 @@ class UdpTransport:
     def _transmit(self, peer: str, payload: bytes) -> None:
         address = self._peer_addresses.get(peer)
         if address is None:
+            # No registered address: without a counter and a failure
+            # record this is a silent black hole — the protocol keeps
+            # retransmitting into it until the retry cap declares the
+            # peer dead, with nothing pointing at the real cause.
+            self.stats.unroutable_drops += 1
+            # Same (peer, record) shape the endpoint's failures use, so
+            # callers watching ``transport.failures`` see one stream.
+            self.failures.append(
+                (
+                    peer,
+                    ExchangeFailed(
+                        peer=peer, assoc_id=0, seq=0, retries=0,
+                        reason="no-peer-address", messages=[payload],
+                    ),
+                )
+            )
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    self._clock(), self.endpoint.name, EventKind.PARSE_DROP,
+                    info=f"udp no-address dst={peer} bytes={len(payload)}",
+                )
+                self.obs.registry.counter("udp.unroutable_drops").inc()
             return
         try:
             self._socket.sendto(payload, address)

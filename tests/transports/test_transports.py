@@ -278,3 +278,128 @@ class TestUdpMalformedDatagrams:
         finally:
             ta.close()
             tb.close()
+
+
+class TestUdpDropAccounting:
+    """The silent-loss fixes: every dropped datagram is countable."""
+
+    def make_pair(self, config=None):
+        return TestUdpTransport.make_pair(self, config)
+
+    def pump_both(self, ta, tb, predicate, timeout_s=5.0):
+        return TestUdpTransport.pump_both(self, ta, tb, predicate, timeout_s)
+
+    def test_unknown_source_drop_is_counted(self):
+        import socket
+
+        ta, tb = self.make_pair()
+        try:
+            stranger = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            for _ in range(3):
+                stranger.sendto(b"junk from nowhere", ta.address)
+            ta.run_until(lambda: ta.stats.unknown_source_drops == 3,
+                         timeout_s=2.0)
+            assert ta.stats.unknown_source_drops == 3
+            assert ta.resilience_stats().unknown_source_drops == 3
+            assert ta.received == []
+            stranger.close()
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_unroutable_transmit_surfaces_counter_and_failure(self):
+        ta, tb = self.make_pair()
+        try:
+            ta.connect("b")
+            assert self.pump_both(
+                ta, tb, lambda: ta.endpoint.association("b").established
+            )
+            # The peer's address vanishes (directory wiped before a
+            # locator update lands): sends must not black-hole silently.
+            ta._peer_addresses.pop("b")
+            ta.send("b", b"into the void")
+            ta.pump(0.05)
+            assert ta.stats.unroutable_drops >= 1
+            peer, failure = ta.failures[-1]
+            assert peer == "b"
+            assert failure.reason == "no-peer-address"
+            assert failure.messages  # the undeliverable payload rides along
+        finally:
+            ta.close()
+            tb.close()
+
+
+class TestUdpFloodBudget:
+    """A datagram flood must not starve the endpoint's timers."""
+
+    def test_per_turn_budget_bounds_the_drain(self):
+        from repro.core.endpoint import AlphaEndpoint
+
+        victim = UdpTransport(
+            AlphaEndpoint("victim", EndpointConfig(chain_length=64), seed=31),
+            max_datagrams_per_turn=16,
+        )
+        import socket
+
+        try:
+            flooder = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            for _ in range(200):
+                flooder.sendto(b"flood", victim.address)
+            # One turn reads at most the budget, even with 200 queued.
+            import time as _time
+
+            deadline = _time.monotonic() + 2.0
+            while _time.monotonic() < deadline:
+                if victim.pump(0.05) > 0:
+                    break
+            assert 0 < victim.stats.unknown_source_drops <= 16
+            # Subsequent turns drain the rest; nothing is lost, only
+            # deferred to later turns.
+            victim.run_until(
+                lambda: victim.stats.unknown_source_drops == 200,
+                timeout_s=5.0,
+            )
+            assert victim.stats.unknown_source_drops == 200
+            flooder.close()
+        finally:
+            victim.close()
+
+    def test_flooded_socket_does_not_starve_retransmit_timers(self):
+        import socket
+
+        config = EndpointConfig(
+            chain_length=64, retransmit_timeout_s=0.05, max_retries=3
+        )
+        ta = UdpTransport(
+            AlphaEndpoint("a", config, seed=33), max_datagrams_per_turn=8
+        )
+        try:
+            # Handshake toward a peer that never answers, while a
+            # stranger floods the socket: HS1 retries must still burn
+            # down and fail terminally (timer work kept its share of
+            # every turn).
+            sink = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sink.bind(("127.0.0.1", 0))
+            ta.register_peer("b", sink.getsockname())
+            ta.connect("b")
+            flooder = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+            def flood_and_check():
+                for _ in range(32):
+                    flooder.sendto(b"noise", ta.address)
+                return any(
+                    f.reason == "handshake-timeout" for _p, f in ta.failures
+                )
+
+            assert ta.run_until(flood_and_check, timeout_s=5.0)
+            assert ta.stats.unknown_source_drops > 0
+            flooder.close()
+            sink.close()
+        finally:
+            ta.close()
+
+    def test_budget_must_be_positive(self):
+        from repro.core.endpoint import AlphaEndpoint
+
+        with pytest.raises(ValueError):
+            UdpTransport(AlphaEndpoint("x", seed=1), max_datagrams_per_turn=0)
