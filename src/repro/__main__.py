@@ -173,6 +173,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.canonical import (
         ADAPTIVE_EXCHANGE,
         CANONICAL_EXCHANGES,
+        MULTIHOP_EXCHANGE,
         run_canonical,
     )
     from repro.obs.format import format_summary, format_timeline
@@ -180,7 +181,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         obs = run_canonical(args.exchange, seed=args.seed)
     except ValueError:
-        available = ", ".join(sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE]))
+        available = ", ".join(
+            sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE, MULTIHOP_EXCHANGE])
+        )
         print(
             f"unknown exchange {args.exchange!r}, available: {available}",
             file=sys.stderr,

@@ -55,7 +55,14 @@ from repro.crypto.drbg import DRBG
 from repro.crypto.hashes import HashFunction, OpCounter, get_hash
 from repro.crypto.signatures import SignatureScheme
 from repro.obs import OBS_OFF, EventKind, Observability
+from repro.obs import telemetry
 from repro.obs.linkhealth import HealthLedger
+
+#: Fused-split corruption share above which a terminal rto-escape is
+#: read as "the peer is alive, the path is chewing packets" — worth a
+#: re-bootstrap even without ``auto_rebootstrap`` (PROTOCOL.md §16).
+#: Matches the signer's ``_CAUSE_BIAS_THRESHOLD`` posture bias.
+_ESCAPE_CORRUPTION_BIAS = 0.6
 
 
 @dataclass(frozen=True)
@@ -263,6 +270,14 @@ class AlphaEndpoint:
         #: regardless of any armed deadline.
         self._dirty: set[int] = set()
         self._use_heap = self.config.deadline_heap
+        #: Deadline-heap service lag histogram (``telemetry.heap.lag_ms``,
+        #: PROTOCOL.md §16): how far past its armed deadline a timer pops.
+        #: Measured purely in the injected clock domain — the real-clock
+        #: lint over ``repro.core`` stays airtight. The instrument is the
+        #: registry's shared null when observability is off.
+        self._heap_lag = self.obs.registry.histogram(
+            telemetry.HEAP_LAG_MS, telemetry.MS_BOUNDS
+        )
         #: Installation counter backing ``Association.install_seq``.
         self._installs = 0
         #: Endpoint-level resilience counters (handshake failures, dead
@@ -382,6 +397,17 @@ class AlphaEndpoint:
         assoc = self._by_peer.get(peer)
         return assoc is not None and assoc.down
 
+    def note_corrupt_arrival(self, src: str) -> None:
+        """Charge one damaged arrival from ``src`` to the per-peer ledger.
+
+        Transports call this for datagrams that died before or inside
+        the parser — the drops that previously surfaced only in
+        ``udp.*`` counters and left the ledger (and therefore the wire
+        telemetry summary) blind to pure corruption.
+        """
+        if self._track_links:
+            self.links.link(src).on_corrupt_arrival()
+
     def on_packet(self, data: bytes, src: str, now: float) -> EndpointOutput:
         """Process one received packet; returns packets to send + events."""
         out = EndpointOutput()
@@ -389,8 +415,11 @@ class AlphaEndpoint:
             packet = decode_packet(data, self.hash_fn.digest_size)
         except PacketError:
             self.stats.corrupt_drops += 1
-            if self._track_links and src in self._by_peer:
-                self.links.link(src).on_corrupt_arrival()
+            # Keyed by source peer unconditionally: parser deaths are
+            # exactly the corruption evidence the ledger summary carries
+            # back to the signer (PROTOCOL.md §16), and they happen
+            # before any association lookup can vouch for the source.
+            self.note_corrupt_arrival(src)
             if self.obs.enabled:
                 self.obs.tracer.emit(
                     now, self.name, EventKind.PARSE_DROP, info=f"src={src}"
@@ -448,11 +477,14 @@ class AlphaEndpoint:
                 self._service_association(assoc, now, out)
             return out
         due: dict[int, Association] = {}
+        observe_lag = self.obs.enabled
         while self._timers and self._timers[0][0] <= now:
             deadline, assoc_id = heapq.heappop(self._timers)
             assoc = self._by_id.get(assoc_id)
             if assoc is None:
                 continue  # association already drained; stale entry
+            if observe_lag:
+                self._heap_lag.observe((now - deadline) * 1000.0)
             if assoc.armed_deadline is not None and deadline >= assoc.armed_deadline:
                 assoc.armed_deadline = None
             due[assoc_id] = assoc
@@ -721,6 +753,11 @@ class AlphaEndpoint:
                 )
             except AlphaError:
                 return
+            if packet.telemetry is not None and self._track_links:
+                # A re-bootstrapping responder handed its link history
+                # back on the HS2: the fresh association starts with the
+                # fused loss view instead of re-learning it.
+                self.links.link(src).on_peer_summary(packet.telemetry, now=now)
             established = self._install_association(
                 packet.assoc_id, src, assoc.chains, peer_anchors,
                 initiator=True, now=now,
@@ -753,6 +790,13 @@ class AlphaEndpoint:
         assoc = self._install_association(
             packet.assoc_id, src, chains, peer_anchors, initiator=False, now=now
         )
+        if self._track_links:
+            # Carry our accumulated view of this link on the HS2 — only
+            # when there is history to report, so a first-contact
+            # handshake stays byte-identical to the pre-telemetry wire.
+            link = self.links.get(src)
+            if link is not None and link.has_history:
+                response.telemetry = link.summary()
         assoc.hs_bytes = response.encode()
         out.replies.append((src, assoc.hs_bytes))
         if self.obs.enabled:
@@ -959,7 +1003,27 @@ class AlphaEndpoint:
                 f" failures={assoc.signer.consecutive_failures}",
             )
             self.obs.registry.counter("endpoint.dead_peers").inc()
-        if self.config.auto_rebootstrap and assoc.replacement_id is None:
+        rebootstrap = self.config.auto_rebootstrap
+        cause = "auto"
+        if not rebootstrap and force and self._track_links:
+            # Fused-split escape heuristic (PROTOCOL.md §16): the probe
+            # budget proved the *path* unusable, but when both ledger
+            # views agree the loss is corruption-dominated, the peer is
+            # almost certainly alive behind a packet-chewing link —
+            # fresh chains are worth a shot even without the blanket
+            # auto_rebootstrap opt-in. Requires an actual peer report:
+            # the one-sided mirror guess is not enough to spend a
+            # handshake on.
+            link = self.links.get(assoc.peer)
+            if (
+                link is not None
+                and link.peer_reports
+                and link.split_confident
+                and link.loss_split()[1] >= _ESCAPE_CORRUPTION_BIAS
+            ):
+                rebootstrap = True
+                cause = "escape-corruption"
+        if rebootstrap and assoc.replacement_id is None:
             # Re-bootstrap over the existing handshake path: fresh chains,
             # fresh association id, queued traffic migrates immediately.
             replacement = self._initiate_replacement(assoc, now, out, label="reboot")
@@ -967,7 +1031,7 @@ class AlphaEndpoint:
             if self.obs.enabled:
                 self.obs.tracer.emit(
                     now, self.name, EventKind.REBOOTSTRAP, assoc.assoc_id,
-                    info=f"new_assoc={replacement.assoc_id}",
+                    info=f"new_assoc={replacement.assoc_id} cause={cause}",
                 )
                 self.obs.registry.counter("endpoint.rebootstraps").inc()
             while assoc.signer._queue:

@@ -28,6 +28,12 @@ from repro.core.exceptions import PacketError
 from repro.core.modes import Mode
 from repro.core.wire import U16, U32, Reader, Writer
 
+# The ledger digest lives with the ledger (repro.obs.linkhealth): the
+# obs package must stay importable without repro.core (the engines all
+# import obs), so the wire layer imports the type, not the other way
+# around. Re-exported here because it IS a wire field.
+from repro.obs.linkhealth import LedgerSummary
+
 MAGIC = 0xA1FA
 VERSION = 1
 
@@ -106,9 +112,11 @@ FLAG_RELIABLE = 0x01
 # A1 flag bits.
 FLAG_PRE_ACK_PAIR = 0x01
 FLAG_AMT_ROOT = 0x02
+FLAG_TELEMETRY = 0x04
 
 # Handshake flag bits.
 FLAG_PROTECTED = 0x01
+FLAG_HS_TELEMETRY = 0x02
 
 
 def _header(packet_type: PacketType, assoc_id: int, seq: int) -> Writer:
@@ -235,6 +243,7 @@ class A1Packet:
     pre_acks: list[bytes] = field(default_factory=list)
     pre_nacks: list[bytes] = field(default_factory=list)
     amt_root: bytes | None = None
+    telemetry: LedgerSummary | None = None
 
     TYPE = PacketType.A1
 
@@ -250,6 +259,9 @@ class A1Packet:
         if self.amt_root is not None:
             flags |= FLAG_AMT_ROOT
             size += len(self.amt_root)
+        if self.telemetry is not None:
+            flags |= FLAG_TELEMETRY
+            size += LedgerSummary.SIZE
         buf = _scratch_for(size)
         _A1_PREFIX.pack_into(
             buf, 0, MAGIC, VERSION, int(self.TYPE), self.assoc_id, self.seq,
@@ -269,6 +281,8 @@ class A1Packet:
             root = self.amt_root
             buf[offset : offset + len(root)] = root
             offset += len(root)
+        if flags & FLAG_TELEMETRY:
+            offset = self.telemetry.encode_into(buf, offset)
         return bytes(memoryview(buf)[:offset])
 
     @classmethod
@@ -281,6 +295,7 @@ class A1Packet:
         pre_acks: list[bytes] = []
         pre_nacks: list[bytes] = []
         amt_root = None
+        telemetry = None
         if flags & FLAG_PRE_ACK_PAIR:
             pre_acks = reader.hash_list(hash_size)
             pre_nacks = reader.hash_list(hash_size)
@@ -288,6 +303,8 @@ class A1Packet:
                 raise PacketError("pre-acks and pre-nacks must pair up")
         if flags & FLAG_AMT_ROOT:
             amt_root = reader.raw(hash_size)
+        if flags & FLAG_TELEMETRY:
+            telemetry = LedgerSummary.decode(reader)
         return cls(
             assoc_id=assoc_id,
             seq=seq,
@@ -298,6 +315,7 @@ class A1Packet:
             pre_acks=pre_acks,
             pre_nacks=pre_nacks,
             amt_root=amt_root,
+            telemetry=telemetry,
         )
 
 
@@ -443,6 +461,13 @@ class HandshakePacket:
     peer_nonce: bytes = b""
     public_key: bytes = b""
     signature: bytes = b""
+    #: Optional HS2 ledger summary (PROTOCOL.md §16): a re-bootstrapping
+    #: responder hands its link history back so the fresh association
+    #: starts with a fused loss view. Advisory only — deliberately NOT
+    #: part of :meth:`signed_blob`, so protected handshakes stay
+    #: byte-compatible and a tampered summary can at worst skew loss
+    #: attribution, never authentication.
+    telemetry: LedgerSummary | None = None
 
     @property
     def TYPE(self) -> PacketType:  # noqa: N802 - mirrors the class constants
@@ -452,7 +477,9 @@ class HandshakePacket:
         """Canonical bytes covered by the protected-mode signature.
 
         Includes both nonces (the responder signs the initiator's nonce
-        too), preventing replay of old signed anchors.
+        too), preventing replay of old signed anchors. The telemetry
+        summary is excluded: it is advisory transport metadata, not part
+        of the identity being bound.
         """
         writer = Writer()
         writer.var_bytes(self.hash_name.encode("ascii"))
@@ -465,6 +492,8 @@ class HandshakePacket:
     def encode(self) -> bytes:
         writer = _header(self.TYPE, self.assoc_id, self.seq)
         flags = FLAG_PROTECTED if self.signature else 0
+        if self.telemetry is not None:
+            flags |= FLAG_HS_TELEMETRY
         writer.u8(flags)
         writer.var_bytes(self.hash_name.encode("ascii"))
         writer.var_bytes(self.nonce)
@@ -473,13 +502,17 @@ class HandshakePacket:
         writer.u32(self.ack_chain_length).var_bytes(self.ack_anchor)
         writer.var_bytes(self.public_key)
         writer.var_bytes(self.signature)
+        if self.telemetry is not None:
+            writer.raw(self.telemetry.encode())
         return writer.getvalue()
 
     @classmethod
     def decode_body(
         cls, reader: Reader, assoc_id: int, seq: int, is_response: bool
     ) -> "HandshakePacket":
-        reader.u8()  # flags; protection is evident from the signature field
+        # Protection is evident from the signature field; the telemetry
+        # bit gates the optional trailing summary.
+        flags = reader.u8()
         try:
             hash_name = reader.var_bytes().decode("ascii")
         except UnicodeDecodeError:
@@ -492,6 +525,9 @@ class HandshakePacket:
         ack_anchor = reader.var_bytes()
         public_key = reader.var_bytes()
         signature = reader.var_bytes()
+        telemetry = None
+        if flags & FLAG_HS_TELEMETRY:
+            telemetry = LedgerSummary.decode(reader)
         if not sig_anchor or not ack_anchor:
             raise PacketError("handshake must carry both anchors")
         return cls(
@@ -507,6 +543,7 @@ class HandshakePacket:
             peer_nonce=peer_nonce,
             public_key=public_key,
             signature=signature,
+            telemetry=telemetry,
         )
 
 

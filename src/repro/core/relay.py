@@ -668,10 +668,17 @@ class RelayEngine:
         obs: Observability | None = None,
         name: str = "",
         ledger: HealthLedger | None = None,
+        hop: int = 0,
     ) -> None:
         self._hash = hash_fn
         self._obs = obs if obs is not None else OBS_OFF
         self.name = name or "relay"
+        #: Hop ordinal on the path (1 = first relay after the signer).
+        #: Stamped into the per-packet trace context so a multi-hop
+        #: timeline stitches signer → relay1 → relay2 → verifier events
+        #: of one exchange together (PROTOCOL.md §16). 0 = unplaced
+        #: (single-relay topologies keep their historical trace shape).
+        self.hop = hop
         self.config = config if config is not None else RelayConfig()
         self._associations: dict[int, _RelayAssociation] = {}
         self._pending_hs1: dict[int, tuple[str, HandshakePacket]] = {}
@@ -737,6 +744,7 @@ class RelayEngine:
         return {
             "format": 1,
             "name": self.name,
+            "hop": self.hop,
             "associations": [
                 {
                     "assoc_id": assoc_id,
@@ -777,6 +785,7 @@ class RelayEngine:
             obs=obs,
             name=name or journal.get("name", ""),
             ledger=ledger,
+            hop=journal.get("hop", 0),
         )
         recovering = 0
         for record in journal["associations"]:
@@ -870,11 +879,14 @@ class RelayEngine:
             self.ledger.link(src).on_relay_drop()
         if self._obs.enabled:
             kind = EventKind.RELAY_FORWARD if decision.forward else EventKind.RELAY_DROP
+            info = decision.reason
+            if self.hop:
+                info = f"hop={self.hop} {info}"
             self._obs.tracer.emit(
                 now, self.name, kind, packet.assoc_id,
                 getattr(packet, "seq", 0),
                 msg_index=getattr(packet, "msg_index", -1),
-                info=decision.reason,
+                info=info,
             )
             self._obs.registry.counter(
                 "relay.forwarded" if decision.forward else "relay.dropped"

@@ -432,6 +432,14 @@ class SignerSession:
             return []  # acknowledges someone else's S1
         exchange.a1_ack_element = ack_element
         self._exchange_alive(exchange)
+        if packet.telemetry is not None and self.link is not None:
+            # The verifier's ledger digest rode in on the A1: fuse its
+            # view of the link (outbound corruption we could only see as
+            # timeouts) into ours (PROTOCOL.md §16). Merged only after
+            # the ack element verified, so a spoofed A1 cannot feed it.
+            self.link.on_peer_summary(packet.telemetry, now=now)
+            if self._obs.enabled:
+                self._obs.registry.counter("telemetry.summaries_rx").inc()
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.A1_VERIFY_OK, self.assoc_id,
@@ -617,7 +625,15 @@ class SignerSession:
             self._obs.registry.counter("signer.s1_sent").inc()
         return s1_bytes
 
+    #: Rejection reasons proving the ack arrived *damaged* — the signer-
+    #: side mirror of the verifier's corruption evidence. A damaged
+    #: chain element or echo is a packet the link chewed; an even/odd
+    #: position error is a role violation, not link damage.
+    _CORRUPTION_REASONS = frozenset({"bad-chain-element", "wrong-echo"})
+
     def _reject_a1(self, now: float, seq: int, reason: str) -> None:
+        if self.link is not None and reason in self._CORRUPTION_REASONS:
+            self.link.on_corrupt_arrival()
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.A1_VERIFY_FAIL, self.assoc_id,
@@ -626,6 +642,8 @@ class SignerSession:
             self._obs.registry.counter("signer.a1_rejected").inc()
 
     def _reject_a2(self, now: float, seq: int, reason: str) -> None:
+        if self.link is not None and reason in self._CORRUPTION_REASONS:
+            self.link.on_corrupt_arrival()
         if self._obs.enabled:
             self._obs.tracer.emit(
                 now, self._node, EventKind.A2_VERIFY_FAIL, self.assoc_id,
@@ -833,6 +851,14 @@ class SignerSession:
             or packet.echo_sig_element != exchange.s1_element.value
         ):
             return []
+        if packet.telemetry is not None and self.link is not None:
+            # The probe reply repeats the cached A1 with a *refreshed*
+            # ledger digest (PROTOCOL.md §16.2), so a wedged exchange
+            # still feeds the fused loss split — which is exactly when
+            # the rto-escape heuristic needs the corruption evidence.
+            self.link.on_peer_summary(packet.telemetry, now=now)
+            if self._obs.enabled:
+                self._obs.registry.counter("telemetry.summaries_rx").inc()
         sample = max(0.0, now - exchange.probe_sent_at)
         if self.config.adaptive_rto:
             self.rtt.clear_backoff(sample)

@@ -26,7 +26,7 @@ and allocates nothing.
 
 from __future__ import annotations
 
-from repro.obs.linkhealth import HealthLedger, LinkHealth
+from repro.obs.linkhealth import HealthLedger, LedgerSummary, LinkHealth
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -80,5 +80,6 @@ __all__ = [
     "Histogram",
     "TimeSeries",
     "HealthLedger",
+    "LedgerSummary",
     "LinkHealth",
 ]

@@ -21,6 +21,12 @@ A fifth replay, ``adaptive``, scripts a whole controller arc
 channel into ALPHA-C, a burst-lossy stretch (the S1 is genuinely lost
 and retransmitted) that pushes it into ALPHA-M, and the drain back to
 BASE — with every ``adapt-switch`` decision on the timeline.
+
+A sixth, ``multihop``, runs the reliable BASE exchange across *two*
+relays (``relay1`` at hop 1, ``relay2`` at hop 2) so the trace shows a
+hop-spanning timeline: every packet appears once per relay with its
+``hop=N`` trace context, stitching signer → relay1 → relay2 → verifier
+into one path (PROTOCOL.md §16).
 """
 
 from __future__ import annotations
@@ -49,6 +55,10 @@ CANONICAL_EXCHANGES: dict[str, tuple[Mode, ReliabilityMode, int]] = {
 #: its mode changes mid-run by design).
 ADAPTIVE_EXCHANGE = "adaptive"
 
+#: The hop-spanning replay: reliable BASE across two relays (separate
+#: from the fixed-mode four: its topology, not its mode, is the point).
+MULTIHOP_EXCHANGE = "multihop"
+
 
 class CanonicalChannel:
     """A signer/relay/verifier triple sharing one observability context."""
@@ -62,6 +72,7 @@ class CanonicalChannel:
         hash_name: str = "sha1",
         chain_length: int = 64,
         seed: int | str = 0,
+        relay_count: int = 1,
     ) -> None:
         from repro.crypto.hashes import get_hash
 
@@ -98,17 +109,27 @@ class CanonicalChannel:
             obs=obs,
             node="verifier",
         )
-        self.relay = RelayEngine(hash_fn, obs=obs, name="relay")
-        self.relay.provision(
-            assoc_id=CANONICAL_ASSOC,
-            initiator="signer",
-            responder="verifier",
-            initiator_sig_anchor=sig_chain.anchor,
-            initiator_ack_anchor=ack_chain.anchor,
-            responder_sig_anchor=sig_chain.anchor,
-            responder_ack_anchor=ack_chain.anchor,
-            hash_name=hash_name,
-        )
+        if relay_count == 1:
+            # Historical single-relay shape: unplaced (hop=0), so the
+            # four fixed-mode replays keep their exact trace strings.
+            self.relays = [RelayEngine(hash_fn, obs=obs, name="relay")]
+        else:
+            self.relays = [
+                RelayEngine(hash_fn, obs=obs, name=f"relay{i}", hop=i)
+                for i in range(1, relay_count + 1)
+            ]
+        self.relay = self.relays[0]
+        for relay in self.relays:
+            relay.provision(
+                assoc_id=CANONICAL_ASSOC,
+                initiator="signer",
+                responder="verifier",
+                initiator_sig_anchor=sig_chain.anchor,
+                initiator_ack_anchor=ack_chain.anchor,
+                responder_sig_anchor=sig_chain.anchor,
+                responder_ack_anchor=ack_chain.anchor,
+                hash_name=hash_name,
+            )
 
 
 def run_canonical(
@@ -125,12 +146,14 @@ def run_canonical(
     """
     if name == ADAPTIVE_EXCHANGE:
         return run_adaptive_canonical(obs, hop_delay_s=hop_delay_s, seed=seed)
+    if name == MULTIHOP_EXCHANGE:
+        return run_multihop_canonical(obs, hop_delay_s=hop_delay_s, seed=seed)
     try:
         mode, reliability, count = CANONICAL_EXCHANGES[name]
     except KeyError:
         raise ValueError(
             f"unknown canonical exchange {name!r}; pick one of "
-            f"{sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE])}"
+            f"{sorted([*CANONICAL_EXCHANGES, ADAPTIVE_EXCHANGE, MULTIHOP_EXCHANGE])}"
         ) from None
     if obs is None:
         obs = Observability()
@@ -163,6 +186,54 @@ def run_canonical(
             channel.signer.handle_a2(decode_packet(a2, channel.hash_size), t)
     delivered = channel.verifier.drain_delivered()
     assert [m.message for m in delivered] == messages
+    assert channel.signer.idle
+    return obs
+
+
+def run_multihop_canonical(
+    obs: Observability | None = None,
+    hop_delay_s: float = 0.005,
+    seed: int | str = 0,
+) -> Observability:
+    """Reliable BASE exchange across two relays: the hop-spanning trace.
+
+    The path is signer → relay1 (hop 1) → relay2 (hop 2) → verifier;
+    acknowledgments walk it in reverse. Every wire leg advances the
+    clock, and each relay stamps its hop ordinal into the trace
+    context, so the rendered timeline reads as one multi-hop packet
+    capture: four legs per direction, S1 → A1 → S2 → A2.
+    """
+    if obs is None:
+        obs = Observability()
+    channel = CanonicalChannel(
+        Mode.BASE, ReliabilityMode.RELIABLE, 1, obs, seed=seed, relay_count=2
+    )
+    h = channel.hash_size
+
+    def forward(payload: bytes, src: str, dst: str, t: float) -> float:
+        """Walk the packet through the relay chain in path order."""
+        chain = channel.relays if src == "signer" else list(reversed(channel.relays))
+        for relay in chain:
+            assert relay.handle(payload, src, dst, t).forward
+            t += hop_delay_s
+        return t
+
+    message = b"alpha-multihop"
+    channel.signer.submit(message)
+    t = 0.0
+    s1 = channel.signer.poll(t)[0]
+    t = forward(s1, "signer", "verifier", t + hop_delay_s)
+    a1 = channel.verifier.handle_s1(decode_packet(s1, h), t)
+    assert a1 is not None
+    t = forward(a1, "verifier", "signer", t + hop_delay_s)
+    (s2,) = channel.signer.handle_a1(decode_packet(a1, h), t)
+    t = forward(s2, "signer", "verifier", t + hop_delay_s)
+    a2 = channel.verifier.handle_s2(decode_packet(s2, h), t)
+    assert a2 is not None
+    t = forward(a2, "verifier", "signer", t + hop_delay_s)
+    channel.signer.handle_a2(decode_packet(a2, h), t)
+    delivered = channel.verifier.drain_delivered()
+    assert [m.message for m in delivered] == [message]
     assert channel.signer.idle
     return obs
 

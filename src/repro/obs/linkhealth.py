@@ -41,6 +41,9 @@ few hundred bytes per peer.
 
 from __future__ import annotations
 
+import struct
+from dataclasses import dataclass
+
 from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
 
 #: EWMA gain for the cross-association SRTT/RTTVAR mirror. Smoother
@@ -55,6 +58,76 @@ MIN_SPLIT_EVENTS = 4
 #: pessimistically, so the stale estimate halves every interval since
 #: the last controller update.
 LOSS_DECAY_HALF_LIFE_S = 60.0
+
+#: Ledger summary layout:
+#: corrupt_arrivals u32 | verified u32 | dropped u32 | rtt_us u32
+_LEDGER_SUMMARY = struct.Struct(">IIII")
+
+_U32_MAX = 0xFFFFFFFF
+
+
+def _saturate(value: int) -> int:
+    """Clamp a counter into u32 range (ledgers count forever; the wire
+    field is a bounded snapshot and saturation is fine for a ratio)."""
+    if value < 0:
+        return 0
+    return value if value <= _U32_MAX else _U32_MAX
+
+
+@dataclass
+class LedgerSummary:
+    """A receiver's health-ledger digest, piggybacked on A1/HS2.
+
+    Fixed 16-byte wire field (PROTOCOL.md §16) carrying the receiver's
+    view of the link back to the signer: how many of the signer's
+    packets arrived damaged (``corrupt_arrivals``), how many messages
+    were authenticated end-to-end (``verified``), how many arrivals
+    were rejected for any reason (``dropped``), and the receiver's
+    smoothed RTT in microseconds (0 = no sample yet). All counters are
+    cumulative since the ledger entry was created, so the decoder
+    merges by elementwise max, not addition. The field is advisory — it is
+    NOT covered by the protected-handshake signature and only ever
+    biases loss attribution, never authentication decisions.
+
+    Defined here rather than in :mod:`repro.core.packets` (which
+    re-exports it) so the obs package stays importable without
+    repro.core — every protocol engine imports obs, not vice versa.
+    The ``decode`` reader is duck-typed for the same reason.
+    """
+
+    corrupt_arrivals: int
+    verified: int = 0
+    dropped: int = 0
+    rtt_us: int = 0
+
+    SIZE = _LEDGER_SUMMARY.size
+
+    def encode_into(self, buf: bytearray, offset: int) -> int:
+        """Pack into ``buf`` at ``offset``; returns the new offset."""
+        _LEDGER_SUMMARY.pack_into(
+            buf, offset,
+            _saturate(self.corrupt_arrivals),
+            _saturate(self.verified),
+            _saturate(self.dropped),
+            _saturate(self.rtt_us),
+        )
+        return offset + _LEDGER_SUMMARY.size
+
+    def encode(self) -> bytes:
+        """Standalone encoding (cold paths: handshakes, tests)."""
+        buf = bytearray(_LEDGER_SUMMARY.size)
+        self.encode_into(buf, 0)
+        return bytes(buf)
+
+    @classmethod
+    def decode(cls, reader) -> "LedgerSummary":
+        """Read from a :class:`repro.core.wire.Reader`-shaped object."""
+        return cls(
+            corrupt_arrivals=reader.u32(),
+            verified=reader.u32(),
+            dropped=reader.u32(),
+            rtt_us=reader.u32(),
+        )
 
 
 class LinkHealth:
@@ -74,6 +147,8 @@ class LinkHealth:
         "retransmits_nack",
         "corrupt_arrivals",
         "relay_drops",
+        "deliveries",
+        "rejects",
         "exchanges_completed",
         "exchanges_failed",
         "rtt_samples",
@@ -83,6 +158,12 @@ class LinkHealth:
         "loss_updates",
         "loss_updated_at",
         "latency",
+        "peer_reports",
+        "peer_corrupt_arrivals",
+        "peer_verified",
+        "peer_dropped",
+        "peer_rtt_s",
+        "peer_updated_at",
         "_registry",
     )
 
@@ -103,6 +184,12 @@ class LinkHealth:
         self.corrupt_arrivals = 0
         #: Drops reported by an on-path relay engine feeding this ledger.
         self.relay_drops = 0
+        #: Authenticated messages delivered from this peer (our verifier
+        #: side); the ``verified`` tally the ledger summary carries.
+        self.deliveries = 0
+        #: Arrivals from this peer rejected for any reason (damaged,
+        #: replayed, unknown exchange); the summary's ``dropped`` tally.
+        self.rejects = 0
         self.exchanges_completed = 0
         self.exchanges_failed = 0
         self.rtt_samples = 0
@@ -119,6 +206,15 @@ class LinkHealth:
         self.loss_updated_at: float | None = None
         #: Exchange delivery latency (submit → all messages acked).
         self.latency = Histogram(f"link.{peer}.delivery_latency_s", DEFAULT_BOUNDS)
+        #: The peer's wire-reported view of this link (PROTOCOL.md §16).
+        #: Summaries are cumulative counters, so reports merge by
+        #: elementwise max rather than accumulating.
+        self.peer_reports = 0
+        self.peer_corrupt_arrivals = 0
+        self.peer_verified = 0
+        self.peer_dropped = 0
+        self.peer_rtt_s: float | None = None
+        self.peer_updated_at: float | None = None
         self._registry = registry
 
     # -- mutators (called from the protocol engines) ---------------------------
@@ -140,6 +236,64 @@ class LinkHealth:
 
     def on_relay_drop(self) -> None:
         self.relay_drops += 1
+
+    def on_delivery(self) -> None:
+        self.deliveries += 1
+
+    def on_reject(self) -> None:
+        self.rejects += 1
+
+    def on_peer_summary(self, summary: LedgerSummary, now: float | None = None) -> None:
+        """Merge the peer's wire-reported ledger digest.
+
+        The counters are cumulative on the peer, but reports can arrive
+        stale or out of order — a retransmitted A1 carries whatever the
+        ledger said when that A1 was (re)built — so each counter merges
+        monotonically: a report can advance the view, never regress it.
+        RTT is a smoothed sample, not a counter; the latest non-zero
+        report wins.
+
+        The field is advisory and NOT integrity-protected, so a bit
+        flip confined to it survives packet verification. Each counter
+        is therefore clamped to ``packets_sent`` before merging: the
+        peer cannot have received (let alone damaged, verified, or
+        rejected) more of our packets than we ever transmitted, which
+        bounds what corrupted-in-flight garbage can latch into the
+        monotonic view.
+        """
+        self.peer_reports += 1
+        cap = self.packets_sent
+        self.peer_corrupt_arrivals = max(
+            self.peer_corrupt_arrivals, min(summary.corrupt_arrivals, cap)
+        )
+        self.peer_verified = max(self.peer_verified, min(summary.verified, cap))
+        self.peer_dropped = max(self.peer_dropped, min(summary.dropped, cap))
+        if summary.rtt_us:
+            self.peer_rtt_s = summary.rtt_us / 1e6
+        if now is not None:
+            self.peer_updated_at = now
+
+    def summary(self) -> LedgerSummary:
+        """Our side of the ledger as a wire digest for the peer."""
+        rtt_us = 0
+        if self.srtt is not None:
+            rtt_us = int(self.srtt * 1e6)
+        return LedgerSummary(
+            corrupt_arrivals=self.corrupt_arrivals,
+            verified=self.deliveries,
+            dropped=self.rejects,
+            rtt_us=rtt_us,
+        )
+
+    @property
+    def has_history(self) -> bool:
+        """True once this entry holds anything worth telling the peer."""
+        return bool(
+            self.loss_events
+            or self.deliveries
+            or self.rejects
+            or self.rtt_samples
+        )
 
     def on_rtt_sample(self, rtt_s: float) -> None:
         if self.srtt is None:
@@ -201,21 +355,36 @@ class LinkHealth:
     @property
     def loss_events(self) -> int:
         """All loss evidence this entry holds, regardless of cause."""
-        return self.retransmits + self.corrupt_arrivals
+        return self.retransmits + self.corrupt_arrivals + self.peer_corrupt_arrivals
 
     def loss_split(self) -> tuple[float, float]:
         """``(congestion, corruption)`` fractions, summing to 1.
 
-        Corruption evidence is every explicit nack plus every corrupt
-        arrival counted twice — once for the damaged packet we received,
-        once for the mirrored outbound corruption that we can only have
-        seen as a timeout (link corruption is direction-symmetric; the
-        inbound half is our estimator for the outbound half). Timeout
-        retransmits beyond that correction are congestion. With no loss
-        evidence at all the split is ``(0.0, 0.0)``.
+        One-sided rule (no peer report yet): corruption evidence is
+        every explicit nack plus every corrupt arrival counted twice —
+        once for the damaged packet we received, once for the mirrored
+        outbound corruption that we can only have seen as a timeout
+        (link corruption is direction-symmetric; the inbound half is
+        our estimator for the outbound half). Timeout retransmits
+        beyond that correction are congestion.
+
+        Fused rule (PROTOCOL.md §16): once the peer has reported its
+        ledger over the wire we no longer need the symmetry guess — the
+        peer *counted* our outbound packets that arrived damaged. Every
+        peer-reported corrupt arrival was one of our sends that died at
+        the peer's parser or MAC check, and every locally observed one
+        was a reply that died here; both manifested on our side as bare
+        timeouts, so both are subtracted from the congestion residue
+        and credited to corruption. With no loss evidence at all the
+        split is ``(0.0, 0.0)``.
         """
-        corruption = self.retransmits_nack + 2 * self.corrupt_arrivals
-        congestion = max(0, self.retransmits_timeout - 2 * self.corrupt_arrivals)
+        if self.peer_reports:
+            mirrored = self.corrupt_arrivals + self.peer_corrupt_arrivals
+            corruption = self.retransmits_nack + mirrored
+            congestion = max(0, self.retransmits_timeout - mirrored)
+        else:
+            corruption = self.retransmits_nack + 2 * self.corrupt_arrivals
+            congestion = max(0, self.retransmits_timeout - 2 * self.corrupt_arrivals)
         total = corruption + congestion
         if total == 0:
             return (0.0, 0.0)
@@ -258,6 +427,13 @@ class LinkHealth:
             "retransmits_nack": self.retransmits_nack,
             "corrupt_arrivals": self.corrupt_arrivals,
             "relay_drops": self.relay_drops,
+            "deliveries": self.deliveries,
+            "rejects": self.rejects,
+            "peer_reports": self.peer_reports,
+            "peer_corrupt_arrivals": self.peer_corrupt_arrivals,
+            "peer_verified": self.peer_verified,
+            "peer_dropped": self.peer_dropped,
+            "peer_rtt_s": self.peer_rtt_s,
             "exchanges_completed": self.exchanges_completed,
             "exchanges_failed": self.exchanges_failed,
             "rtt_samples": self.rtt_samples,

@@ -18,23 +18,30 @@ and each :meth:`Reactor.run_once` turn
 
 Step 3 is what makes 10k mostly-idle associations cheap: an idle
 endpoint contributes neither a select wakeup nor a poll scan.
+
+Pass an enabled :class:`~repro.obs.Observability` to get loop-health
+histograms (``telemetry.reactor.turn_ms`` and friends — PROTOCOL.md
+§16) recorded every turn; without one the instrumentation collapses to
+a single boolean check.
 """
 
 from __future__ import annotations
 
 import selectors
-import time
 
+from repro.obs import OBS_OFF
+from repro.obs.telemetry import EventLoopTelemetry, live_clock
 from repro.transports.udp import UdpTransport
 
 
 class Reactor:
     """Drives any number of :class:`UdpTransport`\\ s on one selector."""
 
-    def __init__(self, clock=time.monotonic) -> None:
+    def __init__(self, clock=live_clock, obs=None) -> None:
         self._clock = clock
         self._selector = selectors.DefaultSelector()
         self._transports: list[UdpTransport] = []
+        self.telemetry = EventLoopTelemetry(obs if obs is not None else OBS_OFF)
         self.closed = False
 
     @property
@@ -74,18 +81,23 @@ class Reactor:
         """
         if self.closed:
             raise RuntimeError("reactor is closed")
-        now = self._clock()
+        started = now = self._clock()
         timeout = max_wait_s
         deadline = self.next_deadline()
         if deadline is not None:
             timeout = min(timeout, max(0.0, deadline - now))
         processed = 0
-        for key, _events in self._selector.select(timeout):
+        ready = self._selector.select(timeout)
+        for key, _events in ready:
             processed += key.data.service_socket()
         now = self._clock()
         for transport in self._transports:
             if transport.endpoint.needs_service(now):
                 transport.service_timers()
+        if self.telemetry.enabled:
+            self.telemetry.record_turn(
+                self._clock() - started, len(ready), processed
+            )
         return processed
 
     def run_until(self, predicate, timeout_s: float = 5.0,

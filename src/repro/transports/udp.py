@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import selectors
 import socket
-import time
 
 from repro.core.endpoint import AlphaEndpoint
 from repro.core.resilience import ExchangeFailed, ResilienceStats
 from repro.obs import EventKind
+from repro.obs.telemetry import live_clock
 
 _MAX_DATAGRAM = 65507
 
@@ -43,7 +43,7 @@ class UdpTransport:
         self,
         endpoint: AlphaEndpoint,
         bind: tuple[str, int] = ("127.0.0.1", 0),
-        clock=time.monotonic,
+        clock=live_clock,
         max_datagrams_per_turn: int = 64,
     ) -> None:
         if max_datagrams_per_turn < 1:
@@ -159,6 +159,7 @@ class UdpTransport:
                 # (The endpoint already swallows clean PacketErrors;
                 # this guards against parse bugs deeper in the stack.)
                 self.stats.malformed_drops += 1
+                self.endpoint.note_corrupt_arrival(src)
                 if self.obs.enabled:
                     self.obs.tracer.emit(
                         self._clock(), self.endpoint.name,

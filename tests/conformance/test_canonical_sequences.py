@@ -20,7 +20,12 @@ import re
 import pytest
 
 from repro.obs import EventKind as K
-from repro.obs.canonical import CANONICAL_ASSOC, CANONICAL_EXCHANGES, run_canonical
+from repro.obs.canonical import (
+    CANONICAL_ASSOC,
+    CANONICAL_EXCHANGES,
+    MULTIHOP_EXCHANGE,
+    run_canonical,
+)
 
 #: Every exchange opens identically: S1 out, relay buffers + forwards,
 #: verifier checks and acks, signer validates the ack and updates RTO.
@@ -183,6 +188,88 @@ class TestInterlockInvariants:
         assert snap["relay.admits"] == 1
         assert snap["relay.forwarded"] == tracer.count(K.RELAY_FORWARD)
         assert snap["signer.rtt_s"]["count"] == tracer.count(K.RTO_UPDATE) == 1
+
+
+#: The hop-spanning replay: the reliable exchange of Figure 3 walked
+#: across two placed relays. Every forward leg visits relay1 then
+#: relay2; every acknowledgment leg walks back relay2 then relay1.
+MULTIHOP_EXPECTED = [
+    ("signer", K.S1_SEND),
+    ("relay1", K.RELAY_ADMIT),
+    ("relay1", K.RELAY_FORWARD),
+    ("relay2", K.RELAY_ADMIT),
+    ("relay2", K.RELAY_FORWARD),
+    ("verifier", K.S1_RECV),
+    ("verifier", K.S1_VERIFY_OK),
+    ("verifier", K.A1_SEND),
+    ("relay2", K.RELAY_FORWARD),
+    ("relay1", K.RELAY_FORWARD),
+    ("signer", K.A1_RECV),
+    ("signer", K.A1_VERIFY_OK),
+    ("signer", K.RTO_UPDATE),
+    ("signer", K.S2_SEND),
+    ("relay1", K.RELAY_FORWARD),
+    ("relay2", K.RELAY_FORWARD),
+    ("verifier", K.S2_RECV),
+    ("verifier", K.S2_VERIFY_OK),
+    ("verifier", K.DELIVER),
+    ("verifier", K.A2_SEND),
+    ("relay2", K.RELAY_FORWARD),
+    ("relay1", K.RELAY_FORWARD),
+    ("signer", K.A2_RECV),
+    ("signer", K.A2_VERIFY_OK),
+    ("signer", K.EXCHANGE_DONE),
+]
+
+
+class TestMultihopSequence:
+    """The 2-relay replay stitches into one hop-ordered timeline."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_canonical(MULTIHOP_EXCHANGE)
+
+    def test_exact_event_sequence(self, trace):
+        assert trace.tracer.dropped == 0
+        assert trace.tracer.sequence() == MULTIHOP_EXPECTED
+
+    def test_sequence_is_seed_independent(self, trace):
+        replay = run_canonical(MULTIHOP_EXCHANGE, seed="another-seed")
+        assert replay.tracer.sequence() == MULTIHOP_EXPECTED
+
+    def test_one_exchange_identity_spans_all_hops(self, trace):
+        for event in trace.tracer.events:
+            assert event.assoc_id == CANONICAL_ASSOC, event
+            assert event.seq == 1, event
+
+    def test_forwards_carry_hop_ordinals(self, trace):
+        """Each relay stamps its hop into the trace context, and the
+        packet visits the hops in path order (1→2 forward, 2→1 back)."""
+        hops = [
+            (e.node, e.info.split()[0])
+            for e in trace.tracer.events
+            if e.kind is K.RELAY_FORWARD
+        ]
+        assert hops == [
+            ("relay1", "hop=1"), ("relay2", "hop=2"),  # S1 out
+            ("relay2", "hop=2"), ("relay1", "hop=1"),  # A1 back
+            ("relay1", "hop=1"), ("relay2", "hop=2"),  # S2 out
+            ("relay2", "hop=2"), ("relay1", "hop=1"),  # A2 back
+        ]
+
+    def test_clock_advances_per_wire_leg(self, trace):
+        times = [e.t for e in trace.tracer.events]
+        assert times == sorted(times)
+        # Eight relay traversals + eight endpoint legs on the 5 ms grid.
+        assert times[-1] == pytest.approx(0.060)
+
+    def test_single_relay_replays_keep_unplaced_trace_shape(self):
+        """Placing relays is opt-in: the historical canonical replays
+        still trace with the bare reason string (no hop context)."""
+        obs = run_canonical("reliable")
+        for event in obs.tracer.events:
+            if event.kind is K.RELAY_FORWARD:
+                assert not event.info.startswith("hop=")
 
 
 class TestTimestamps:

@@ -27,6 +27,7 @@ from repro.core.packets import (
     A2Packet,
     AckVerdict,
     HandshakePacket,
+    LedgerSummary,
     S1Packet,
     S2Packet,
     decode_packet,
@@ -42,6 +43,16 @@ seqs = st.integers(min_value=0, max_value=2**32 - 1)
 u32s = st.integers(min_value=0, max_value=2**32 - 1)
 u16s = st.integers(min_value=0, max_value=2**16 - 1)
 payloads = st.binary(max_size=64)
+
+#: Optional ledger-summary telemetry riding A1 and HS2 (PROTOCOL.md §16).
+ledger_summaries = st.builds(
+    LedgerSummary,
+    corrupt_arrivals=u32s,
+    verified=u32s,
+    dropped=u32s,
+    rtt_us=u32s,
+)
+maybe_telemetry = st.none() | ledger_summaries
 
 
 @st.composite
@@ -81,6 +92,7 @@ def a1_packets(draw):
         pre_acks=draw(st.lists(hashes, min_size=n_pairs, max_size=n_pairs)),
         pre_nacks=draw(st.lists(hashes, min_size=n_pairs, max_size=n_pairs)),
         amt_root=draw(st.none() | hashes),
+        telemetry=draw(maybe_telemetry),
     )
 
 
@@ -142,6 +154,7 @@ def handshake_packets(draw):
         peer_nonce=draw(st.just(b"") | st.binary(min_size=8, max_size=32)),
         public_key=draw(st.binary(max_size=64)),
         signature=draw(st.binary(max_size=64)),
+        telemetry=draw(maybe_telemetry),
     )
 
 
