@@ -24,10 +24,17 @@ the previous generation): ``bench_e2e_modes`` goodput more than 10%
 below its ring median fails the run. The median makes the gate robust
 to a single bad generation having rotated into ``previous``.
 
+With ``--security-smoke`` the script gates the separation-grid snapshot
+(``bench_attack_filtering``): every ``sec_alpha_*_attack_accept`` metric
+must be exactly zero (the paper's first-honest-relay property admits no
+tolerance), and no scheme's ``*_attack_accept`` count may rise above the
+previous generation — a baseline silently starting to accept attacker
+traffic is a security regression even though no throughput moved.
+
 Usage::
 
     python scripts/bench_track.py [--tolerance 0.15] [--include-wall]
-                                  [--perf-smoke]
+                                  [--perf-smoke] [--security-smoke]
 
 Wired into ``scripts/check.sh`` as the opt-in ``--bench`` stage: run
 the tier-1 suite once to lay down snapshots, change code, run again,
@@ -226,6 +233,56 @@ def perf_smoke(bench: str, payload: dict) -> list[str]:
     return []
 
 
+#: The snapshot carrying the schemes × attacks separation grid.
+SECURITY_BENCH = "bench_attack_filtering"
+_ACCEPT_SUFFIX = "_attack_accept"
+
+
+def security_smoke(bench: str, payload: dict) -> list[str]:
+    """Security-gate lines for one snapshot (empty = clean or not gated).
+
+    Two checks, both on the grid metrics ``smoke()`` records:
+
+    - hard invariant: ALPHA accepts zero attacker-derived messages in
+      every cell (``sec_alpha_*_attack_accept == 0``) — no tolerance,
+      no baseline needed;
+    - ratchet: no scheme's acceptance count rises above the previous
+      generation. Documented blind spots (LHAP/CSM insiders, ProMAC's
+      retraction window) hold steady; anything climbing means an
+      adapter or attack quietly lost its teeth.
+    """
+    if bench != SECURITY_BENCH:
+        return []
+    current = payload.get("current") or {}
+    accepts = {
+        key: value
+        for key, value in current.items()
+        if key.endswith(_ACCEPT_SUFFIX)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+    if not accepts:
+        return [f"{bench}: no {_ACCEPT_SUFFIX} metrics in current snapshot"]
+    failures = [
+        f"{bench}: {key} = {value:g}, ALPHA must accept nothing"
+        for key, value in sorted(accepts.items())
+        if key.startswith("sec_alpha_") and value != 0
+    ]
+    previous = payload.get("previous") or {}
+    for key, value in sorted(accepts.items()):
+        before = previous.get(key)
+        if (
+            isinstance(before, (int, float))
+            and not isinstance(before, bool)
+            and value > before
+        ):
+            failures.append(
+                f"{bench}: {key} rose {before:g} -> {value:g} "
+                "(attacker acceptance must never climb)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -240,6 +297,11 @@ def main(argv: list[str] | None = None) -> int:
         "--perf-smoke", action="store_true",
         help="also gate headline throughput metrics against their "
              "history-ring median (see PERF_SMOKE_GATES)",
+    )
+    parser.add_argument(
+        "--security-smoke", action="store_true",
+        help="also gate the separation grid: ALPHA attacker-acceptance "
+             "must be zero and no scheme's acceptance count may rise",
     )
     parser.add_argument(
         "--dir", type=pathlib.Path, default=BENCH_DIR,
@@ -270,6 +332,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.perf_smoke:
             gate_failures.extend(perf_smoke(payload.get("bench", path.name),
                                             payload))
+        if args.security_smoke:
+            gate_failures.extend(
+                security_smoke(payload.get("bench", path.name), payload)
+            )
         previous, current = payload.get("previous"), payload.get("current")
         if not previous or not current:
             skipped += 1  # first run: nothing to diff against yet
@@ -285,14 +351,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"bench_track: {compared} compared, {skipped} without history,"
           f" {len(regressions)} regression(s), {len(drifts)} drift(s)"
-          + (f", {len(gate_failures)} perf-smoke failure(s)"
-             if args.perf_smoke else ""))
+          + (f", {len(gate_failures)} gate failure(s)"
+             if args.perf_smoke or args.security_smoke else ""))
     for line in regressions:
         print(f"  REGRESSION {line}")
     for line in drifts:
         print(f"  DRIFT {line}")
     for line in gate_failures:
-        print(f"  PERF-SMOKE {line}")
+        print(f"  GATE {line}")
     return 1 if regressions or drifts or gate_failures else 0
 
 

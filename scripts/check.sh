@@ -4,6 +4,9 @@
 #   scripts/check.sh            # what CI / a pre-commit hook should run
 #   scripts/check.sh --bench    # additionally diff bench snapshots
 #                               # (scripts/bench_track.py) after the suite
+#   scripts/check.sh --security # additionally run the security test
+#                               # tier + the separation-grid smoke and
+#                               # gate attacker-acceptance counts
 #   CHECK_STRICT_LINT=0 scripts/check.sh   # tolerate a missing ruff
 #
 # ruff is configured in pyproject.toml ([tool.ruff]) but not bundled
@@ -16,10 +19,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_SECURITY=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
-        *) echo "unknown option: $arg (supported: --bench)" >&2; exit 2 ;;
+        --security) RUN_SECURITY=1 ;;
+        *) echo "unknown option: $arg (supported: --bench, --security)" >&2
+           exit 2 ;;
     esac
 done
 
@@ -75,4 +81,19 @@ if [ "$RUN_BENCH" = "1" ]; then
     # (>10% below median fails).
     echo "== bench regression tracking + perf smoke =="
     python scripts/bench_track.py --perf-smoke
+fi
+
+if [ "$RUN_SECURITY" = "1" ]; then
+    # The separation tier pins every (scheme, attack) grid cell to its
+    # exact drop location or documented acceptance; the grid smoke
+    # refreshes the bench_attack_filtering snapshot; the tracker gate
+    # then enforces the two security invariants (ALPHA accepts nothing,
+    # no scheme's attacker-acceptance count climbs between runs).
+    echo "== security tier =="
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest tests/security -q
+    echo "== separation-grid smoke + acceptance gate =="
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+        tests/benchmarks/test_bench_smoke.py -q \
+        -k bench_attack_filtering
+    python scripts/bench_track.py --security-smoke
 fi

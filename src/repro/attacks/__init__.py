@@ -18,6 +18,12 @@ stopped (ideally: at the first honest relay):
 - :mod:`repro.attacks.reformatting` — the hash-chain reformatting
   attack of Section 3.2.1, plus the demonstration that role binding
   defeats it.
+- :class:`~repro.attacks.corruption.SelectiveTagCorruptor` — flips bits
+  only inside a scheme's aggregated-tag regions (separates ProMAC's
+  accept-then-retract from ALPHA's first-honest-relay drop).
+- :class:`~repro.attacks.corruption.RelayReorderer` — permutes a relay's
+  forwarding queue (separates CSM's generation tolerance from strict
+  in-order chains like Guy Fawkes).
 """
 
 from repro.attacks.adversary import (
@@ -27,11 +33,21 @@ from repro.attacks.adversary import (
     TamperingRelay,
     Wiretap,
 )
+from repro.attacks.corruption import (
+    RelayReorderer,
+    SelectiveTagCorruptor,
+    alpha_s2_tag_region,
+    whole_payload,
+)
 
 __all__ = [
     "PacketForger",
+    "RelayReorderer",
     "ReplayAttacker",
     "S1Flooder",
+    "SelectiveTagCorruptor",
     "TamperingRelay",
     "Wiretap",
+    "alpha_s2_tag_region",
+    "whole_payload",
 ]

@@ -15,8 +15,31 @@ simulation and on paper-style estimate tables:
   stream signature family ALPHA builds on [2].
 - :mod:`repro.baselines.lhap` — LHAP-style hop-by-hop token
   authentication [26]; outsider protection only.
+- :mod:`repro.baselines.promac` — ProMAC-style progressive MACs
+  (arXiv 2103.08560); provisional acceptance with a documented
+  accept-then-retract forgery window.
+- :mod:`repro.baselines.chained_mode` — CSM-style chained per-hop MACs
+  over coded generations (arXiv 2006.00310); reorder-tolerant and
+  hop-verifiable, but no insider containment.
+
+:mod:`repro.baselines.base` additionally provides the
+:class:`~repro.baselines.base.BaselineAdapter` /
+:class:`~repro.baselines.base.BaselineChain` layer that runs every
+baseline on the netsim chain topology for the schemes × attacks grid.
 """
 
-from repro.baselines.base import SchemeProperties
+from repro.baselines.base import (
+    BaselineAdapter,
+    BaselineChain,
+    SchemeProperties,
+    feature_matrix,
+    scheme_adapters,
+)
 
-__all__ = ["SchemeProperties"]
+__all__ = [
+    "BaselineAdapter",
+    "BaselineChain",
+    "SchemeProperties",
+    "feature_matrix",
+    "scheme_adapters",
+]

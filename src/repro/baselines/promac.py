@@ -1,0 +1,302 @@
+"""ProMAC-style progressive message authentication.
+
+Progressive MACs (R2-D2 / ProMAC family; revisited adversarially in
+"Take a Bite of the Reality Sandwich", arXiv 2103.08560) trade
+per-packet tag bandwidth for *delayed* full security: every message is
+protected by a full-width MAC, but only a short **fragment** of it
+travels with the message itself. The remaining fragments are spread
+over the next ``window - 1`` packets, so a message reaches full MAC
+strength only once the whole window has arrived.
+
+The receiver therefore **provisionally accepts** a message after
+checking just the leading fragment (``8 * fragment_bytes`` bits of
+security) and keeps partial-verification state; each later packet
+either raises the message's verified-bit count or exposes a mismatch,
+in which case the receiver *retracts* a message it already handed to
+the application. That accept-then-retract gap is the scheme's
+documented blind spot:
+
+- the *forgery window*: an attacker who finds (or brute-forces — there
+  are only ``2^(8*fragment_bytes)`` candidates) a colliding leading
+  fragment gets a forged payload provisionally accepted, and the
+  deception only surfaces up to ``window - 1`` packets later
+  (:func:`forgery_success_probability`, reproduced in
+  ``tests/security/test_reality_sandwich.py``);
+- *selective tag corruption*: bit flips confined to the trailing
+  (aggregated) fragment region never touch the leading check, so the
+  carrying packet is still provisionally accepted while the corrupted
+  fragments retract *earlier, genuine* messages
+  (:class:`repro.attacks.SelectiveTagCorruptor`).
+
+ALPHA needs neither provisional state nor a window: its per-packet
+hash-chain verification drops the same manipulations at the first
+honest relay (the separation ``benchmarks/bench_attack_filtering``
+measures).
+
+Wire format of one packet (all offsets fixed given the message length,
+so :func:`aggregate_tag_regions` can locate the trailing fragments
+without key material — exactly what an on-path attacker can do)::
+
+    u32 seq | u16 len | message | fragment0 (fb bytes)
+    | u8 count | count * (u32 covered_seq | fragment (fb bytes))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.wire import Reader, Writer
+from repro.crypto.hashes import HashFunction
+
+#: Default number of packets over which one message's MAC is spread.
+DEFAULT_WINDOW = 4
+#: Default bytes of MAC material carried per fragment.
+DEFAULT_FRAGMENT_BYTES = 2
+
+
+def forgery_success_probability(fragment_bytes: int) -> float:
+    """Chance a random leading fragment passes immediate verification.
+
+    The Reality-Sandwich observation: immediate acceptance rests on
+    ``8 * fragment_bytes`` bits only, so an online attacker needs at
+    most ``2^(8*fragment_bytes)`` attempts per forged message.
+    """
+    if fragment_bytes < 1:
+        raise ValueError("fragment size must be at least one byte")
+    return 2.0 ** (-8 * fragment_bytes)
+
+
+def aggregate_tag_regions(
+    packet: bytes, fragment_bytes: int = DEFAULT_FRAGMENT_BYTES
+) -> list[tuple[int, int]]:
+    """Byte spans of the *trailing* (aggregated) fragments of a packet.
+
+    Returns ``[(start, end), ...]`` — one span per back-fragment,
+    excluding the 4-byte covered-seq headers and excluding the leading
+    fragment (which guards immediate acceptance). Malformed packets
+    yield ``[]``.
+    """
+    try:
+        reader = Reader(packet)
+        reader.u32()
+        message = reader.var_bytes()
+        offset = 4 + 2 + len(message)
+        reader.raw(fragment_bytes)
+        count = reader.u8()
+        offset += fragment_bytes + 1
+        spans = []
+        for _ in range(count):
+            reader.u32()
+            reader.raw(fragment_bytes)
+            spans.append((offset + 4, offset + 4 + fragment_bytes))
+            offset += 4 + fragment_bytes
+        return spans
+    except Exception:
+        return []
+
+
+class ProMacSigner:
+    """Sender side: full MACs computed, fragments transmitted."""
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        key: bytes,
+        window: int = DEFAULT_WINDOW,
+        fragment_bytes: int = DEFAULT_FRAGMENT_BYTES,
+    ) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        if window < 2:
+            raise ValueError("a progressive window needs at least 2 packets")
+        if not 1 <= fragment_bytes * window <= hash_fn.digest_size:
+            raise ValueError("window * fragment_bytes must fit in the digest")
+        self._hash = hash_fn
+        self._key = key
+        self.window = window
+        self.fragment_bytes = fragment_bytes
+        self._seq = 0
+        #: ``(seq, full_tag)`` of the last ``window - 1`` messages.
+        self._backlog: deque[tuple[int, bytes]] = deque(maxlen=window - 1)
+
+    def _full_tag(self, seq: int, message: bytes) -> bytes:
+        body = Writer().u32(seq).var_bytes(message).getvalue()
+        return self._hash.mac(self._key, body, label="promac-mac")
+
+    def _fragment(self, tag: bytes, index: int) -> bytes:
+        fb = self.fragment_bytes
+        return tag[index * fb : (index + 1) * fb]
+
+    def protect(self, message: bytes) -> bytes:
+        """Emit the next packet: message, leading fragment, back-fragments."""
+        seq = self._seq
+        self._seq += 1
+        tag = self._full_tag(seq, message)
+        out = Writer()
+        out.u32(seq)
+        out.var_bytes(message)
+        out.raw(self._fragment(tag, 0))
+        out.u8(len(self._backlog))
+        for covered_seq, covered_tag in self._backlog:
+            out.u32(covered_seq)
+            out.raw(self._fragment(covered_tag, seq - covered_seq))
+        self._backlog.append((seq, tag))
+        return out.getvalue()
+
+
+@dataclass
+class _Partial:
+    """Receiver-side partial-verification state for one message."""
+
+    message: bytes
+    expected_tag: bytes
+    fragments_ok: set[int] = field(default_factory=set)
+    retracted: bool = False
+    finalized: bool = False
+
+
+@dataclass(frozen=True)
+class ProMacDecision:
+    """What one packet did to the receiver's state."""
+
+    seq: int
+    accepted: bool
+    reason: str
+    retracted_seqs: tuple[int, ...] = ()
+    finalized_seqs: tuple[int, ...] = ()
+
+
+class ProMacVerifier:
+    """Receiver side: provisional acceptance, aggregation, retraction.
+
+    ``accepted`` is what the application consumed (provisional — the
+    scheme's whole point is not to wait for the window); ``finalized``
+    holds messages that reached full MAC strength; ``retracted`` holds
+    messages that were consumed and later proved wrong. The
+    ``accepted_then_retracted`` counter is the measurable cost of the
+    forgery window.
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction,
+        key: bytes,
+        window: int = DEFAULT_WINDOW,
+        fragment_bytes: int = DEFAULT_FRAGMENT_BYTES,
+    ) -> None:
+        self._hash = hash_fn
+        self._key = key
+        self.window = window
+        self.fragment_bytes = fragment_bytes
+        self._partials: dict[int, _Partial] = {}
+        #: Back-fragments that arrived before their message (reorder
+        #: tolerance): seq -> list of (fragment_index, fragment_bytes).
+        self._orphans: dict[int, list[tuple[int, bytes]]] = {}
+        self.accepted: list[tuple[int, bytes]] = []
+        self.finalized: list[tuple[int, bytes]] = []
+        self.retracted: list[tuple[int, bytes]] = []
+        self.rejected = 0
+        self.accepted_then_retracted = 0
+
+    def _expected_tag(self, seq: int, message: bytes) -> bytes:
+        body = Writer().u32(seq).var_bytes(message).getvalue()
+        return self._hash.mac(self._key, body, label="promac-mac")
+
+    def _slice(self, tag: bytes, index: int) -> bytes:
+        fb = self.fragment_bytes
+        return tag[index * fb : (index + 1) * fb]
+
+    def handle_packet(self, packet: bytes) -> ProMacDecision:
+        try:
+            reader = Reader(packet)
+            seq = reader.u32()
+            message = reader.var_bytes()
+            fragment0 = reader.raw(self.fragment_bytes)
+            count = reader.u8()
+            backs = []
+            for _ in range(count):
+                covered_seq = reader.u32()
+                backs.append((covered_seq, reader.raw(self.fragment_bytes)))
+            reader.expect_end()
+        except Exception:
+            self.rejected += 1
+            return ProMacDecision(-1, False, "malformed")
+        retracted, finalized = [], []
+        for covered_seq, fragment in backs:
+            index = seq - covered_seq
+            if not 1 <= index < self.window:
+                continue
+            outcome = self._apply_fragment(covered_seq, index, fragment)
+            if outcome == "retracted":
+                retracted.append(covered_seq)
+            elif outcome == "finalized":
+                finalized.append(covered_seq)
+        accepted, reason = self._admit(seq, message, fragment0)
+        return ProMacDecision(
+            seq, accepted, reason, tuple(retracted), tuple(finalized)
+        )
+
+    def _admit(self, seq: int, message: bytes, fragment0: bytes) -> tuple[bool, str]:
+        existing = self._partials.get(seq)
+        if existing is not None:
+            if existing.message == message:
+                return False, "duplicate"
+            if existing.finalized:
+                # Full MAC strength already reached: the newcomer is a
+                # forgery attempt against a settled message.
+                self.rejected += 1
+                return False, "conflict-with-finalized"
+            # Conflicting payload for a known, still-aggregating seq:
+            # whichever side is wrong, its fragments cannot all
+            # aggregate. Judge the newcomer against its own expected
+            # tag; a mismatch rejects it, a match convicts the stored
+            # one (it was inside its forgery window).
+            if self._slice(self._expected_tag(seq, message), 0) != fragment0:
+                self.rejected += 1
+                return False, "fragment-mismatch"
+            if not existing.retracted:
+                self._retract(seq, existing)
+            # Fall through: admit the provable newcomer.
+        expected = self._expected_tag(seq, message)
+        if self._slice(expected, 0) != fragment0:
+            self.rejected += 1
+            return False, "fragment-mismatch"
+        partial = _Partial(message=message, expected_tag=expected)
+        partial.fragments_ok.add(0)
+        self._partials[seq] = partial
+        self.accepted.append((seq, message))
+        for index, fragment in self._orphans.pop(seq, []):
+            self._apply_fragment(seq, index, fragment)
+        return True, "provisional"
+
+    def _apply_fragment(self, seq: int, index: int, fragment: bytes) -> str:
+        partial = self._partials.get(seq)
+        if partial is None:
+            self._orphans.setdefault(seq, []).append((index, fragment))
+            return "orphaned"
+        if partial.retracted or partial.finalized:
+            return "settled"
+        if self._slice(partial.expected_tag, index) != fragment:
+            self._retract(seq, partial)
+            return "retracted"
+        partial.fragments_ok.add(index)
+        if len(partial.fragments_ok) >= self.window:
+            partial.finalized = True
+            self.finalized.append((seq, partial.message))
+            return "finalized"
+        return "aggregating"
+
+    def _retract(self, seq: int, partial: _Partial) -> None:
+        partial.retracted = True
+        self.retracted.append((seq, partial.message))
+        self.accepted_then_retracted += 1
+
+    @property
+    def pending_count(self) -> int:
+        """Messages still inside their aggregation window."""
+        return sum(
+            1
+            for p in self._partials.values()
+            if not p.finalized and not p.retracted
+        )

@@ -80,6 +80,45 @@ class RelayConfig:
     evicted_memory: int = 256
 
 
+#: Attack-facing attribution for every drop reason. The precise reason
+#: strings stay the authoritative record (and are pinned by conformance
+#: tests); the categories exist so the attack grid in
+#: ``benchmarks/bench_attack_filtering.py`` can report drops by *cause*
+#: — forged / tampered / replayed / reordered / flooded — instead of a
+#: flat ``dropped`` total. Unlisted reasons attribute to ``"policy"``.
+DROP_CATEGORIES: dict[str, str] = {
+    # Fabricated key material: hash-chain / disclosed-key verification
+    # failed outright, which a genuine endpoint cannot produce.
+    "s1-bad-chain-element": "forged",
+    "a1-bad-chain-element": "forged",
+    "a1-wrong-echo": "forged",
+    "s2-bad-key": "forged",
+    "a2-bad-key": "forged",
+    "a2-bad-verdict": "forged",
+    # Valid key material over the wrong bytes: content was altered
+    # between the pre-signature and the disclosure.
+    "s2-bad-payload": "tampered",
+    "s2-key-mismatch": "tampered",
+    "a2-key-mismatch": "tampered",
+    # Chain elements or exchange ids presented out of their one-shot
+    # position: replayed (or rerouted stale) traffic.
+    "s1-even-position": "replayed",
+    "a1-even-position": "replayed",
+    "a2-odd-position": "replayed",
+    "s2-wrong-key-index": "replayed",
+    "s1-journal-mismatch": "replayed",
+    "s2-unknown-exchange": "replayed",
+    "a1-unknown-exchange": "replayed",
+    "a2-unknown-exchange": "replayed",
+    # S2 before its exchange's A1: out-of-order interlock traffic.
+    "s2-unsolicited": "reordered",
+    "s1-over-allowance": "flooded",
+    "malformed": "malformed",
+    "malformed-hs1": "malformed",
+    "malformed-hs2": "malformed",
+}
+
+
 @dataclass
 class RelayDecision:
     """Outcome of :meth:`RelayEngine.handle` for one packet."""
@@ -954,7 +993,27 @@ class RelayEngine:
         self.stats[decision.reason] = self.stats.get(decision.reason, 0) + 1
         key = "forwarded" if decision.forward else "dropped"
         self.stats[key] = self.stats.get(key, 0) + 1
+        if not decision.forward:
+            category = DROP_CATEGORIES.get(decision.reason, "policy")
+            cat_key = f"dropped.{category}"
+            self.stats[cat_key] = self.stats.get(cat_key, 0) + 1
+            if self._obs.enabled:
+                self._obs.registry.counter(f"relay.{cat_key}").inc()
         return decision
+
+    def drop_breakdown(self) -> dict[str, int]:
+        """Dropped frames grouped by attack-facing cause.
+
+        The categories are an attribution *heuristic* over the precise
+        per-reason stats (which stay authoritative): e.g. an unknown
+        exchange id usually means a replayed S2 from a finished
+        exchange, but a rerouted frame lands in the same bucket.
+        """
+        return {
+            key.split(".", 1)[1]: count
+            for key, count in self.stats.items()
+            if key.startswith("dropped.")
+        }
 
     def drain_extracted(self) -> list[ExtractedMessage]:
         """Return and clear messages this relay verified in transit."""

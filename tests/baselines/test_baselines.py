@@ -124,6 +124,27 @@ class TestTesla:
         assert verifier.dropped_unsafe == 1
         assert verifier.pending_count == 0
 
+    def test_security_condition_exact_boundary(self, sha1):
+        """The drop condition is ``>=``, pinned at the exact instant.
+
+        With interval 1.0 and lag 2, a packet MACed in interval 0 is
+        safe up to (not including) t=2.0 — at t=2.0 sharp the sender
+        *could* already have disclosed K_0, so the verifier must assume
+        the worst and drop. One tick earlier it buffers.
+        """
+        signer, verifier = self.make(sha1)
+        early = signer.protect(b"m0", now=0.5)
+        verifier.handle_packet(early, now=1.9999)  # strictly inside
+        assert verifier.dropped_unsafe == 0
+        assert verifier.pending_count == 1
+        late = signer.protect(b"m0-again", now=0.6)
+        verifier.handle_packet(late, now=2.0)  # exactly on the boundary
+        assert verifier.dropped_unsafe == 1
+        assert verifier.pending_count == 1  # only the early one buffered
+        # The buffered packet still verifies once the key arrives.
+        verifier.handle_disclosure_packet(signer.idle_disclosure(now=2.5))
+        assert [v.message for v in verifier.verified] == [b"m0"]
+
     def test_clock_skew_tightens_the_condition(self, sha1):
         signer, verifier = self.make(sha1, skew=0.5)
         packet = signer.protect(b"m0", now=0.5)
@@ -189,6 +210,28 @@ class TestGuyFawkes:
         assert [v.message for v in verifier.verified] == [b"m0"]
         verifier.handle_packet(signer.protect(b"m2"))
         assert [v.message for v in verifier.verified] == [b"m0", b"m1"]
+
+    def test_single_packet_never_verifies_alone(self, sha1):
+        """The lag is structural: packet ``i`` carries the key for
+        ``i-1``, so a lone packet is unverifiable forever — no amount
+        of waiting helps, only the *next* packet does. (This is the
+        flush cost the stream pays at end-of-transmission.)"""
+        signer, verifier = self.make(sha1)
+        verifier.handle_packet(signer.protect(b"only"))
+        assert verifier.verified == []
+        assert verifier.rejected == 0  # pending, not rejected
+        # The follow-up — even an empty flush message — releases it.
+        verifier.handle_packet(signer.protect(b""))
+        assert [v.message for v in verifier.verified] == [b"only"]
+
+    def test_verification_lags_exactly_one_packet(self, sha1):
+        """Message ``i`` verifies at packet ``i+1`` — not later, and
+        never at its own packet."""
+        signer, verifier = self.make(sha1)
+        for i in range(5):
+            verifier.handle_packet(signer.protect(b"m%d" % i))
+            verified = [v.message for v in verifier.verified]
+            assert verified == [b"m%d" % j for j in range(i)]
 
     def test_loss_desynchronizes_permanently(self, sha1):
         signer, verifier = self.make(sha1)
@@ -288,3 +331,26 @@ class TestFeatureMatrix:
         matrix = {p.name: p for p in feature_matrix()}
         assert matrix["PK-SIGN"].sender_pk_ops > 0
         assert matrix["ALPHA"].sender_pk_ops == 0
+
+    def test_new_rows_document_their_windows_honestly(self):
+        """The ProMAC and CSM rows must advertise their blind spots —
+        the separation grid (tests/security) proves each one is real."""
+        matrix = {p.name: p for p in feature_matrix()}
+        promac = matrix["PROMAC"]
+        assert not promac.relay_verifiable  # shared-key MACs, opaque hops
+        assert promac.provisional_window > 0  # accept-then-retract gap
+        assert promac.verification_delay == "window"
+        csm = matrix["CSM"]
+        assert csm.relay_verifiable  # per-link keys: hops do verify
+        assert not csm.insider_protection  # ...and can therefore re-MAC
+        assert csm.reorder_tolerance == "generation"
+        assert matrix["ALPHA"].provisional_window == 0  # nothing to retract
+
+    def test_every_baseline_row_has_an_adapter(self):
+        from repro.baselines import scheme_adapters
+
+        matrix = {p.name for p in feature_matrix()}
+        adapters = set(scheme_adapters())
+        assert adapters == matrix - {"ALPHA"}
+        for name, cls in scheme_adapters().items():
+            assert cls.name == name

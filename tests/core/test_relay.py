@@ -17,7 +17,7 @@ ASSOC = 55
 class Harness:
     """A signer, a verifier, and a relay in between, driven by hand."""
 
-    def __init__(self, sha1, rng, config=None, relay_config=None):
+    def __init__(self, sha1, rng, config=None, relay_config=None, obs=None):
         if config is None:
             config = ChannelConfig()
         self.sha1 = sha1
@@ -37,7 +37,7 @@ class Harness:
             ASSOC,
             rng.fork("v"),
         )
-        self.relay = RelayEngine(get_hash("sha1"), relay_config)
+        self.relay = RelayEngine(get_hash("sha1"), relay_config, obs=obs)
         # Static provisioning: a "reverse" chain set is irrelevant here,
         # reuse the same anchors for the unused direction.
         self.relay.provision(
@@ -474,3 +474,49 @@ class TestEvictionOrder:
         channel = harness.relay._associations[ASSOC].forward_channel
         assert sorted(channel.exchanges) == [3, 4]
         assert sorted(channel.evicted) == [1, 2]
+
+
+class TestDropBreakdown:
+    """Per-cause drop attribution (stats + obs counters)."""
+
+    def test_categories_accumulate_per_drop(self, sha1, rng):
+        from repro.core.packets import S1Packet, S2Packet
+
+        harness = Harness(sha1, rng)
+        forged_s1 = S1Packet(ASSOC, 1, Mode.BASE, 63, b"\x00" * H, [b"\x01" * H], 1)
+        assert not harness.s_to_v(forged_s1.encode()).forward
+        stray = S2Packet(ASSOC, 9, 62, b"\x02" * H, 0, b"x")
+        assert not harness.s_to_v(stray.encode()).forward
+        breakdown = harness.relay.drop_breakdown()
+        assert breakdown.get("forged") == 1  # s1-bad-chain-element
+        assert breakdown.get("replayed") == 1  # s2-unknown-exchange
+        assert sum(breakdown.values()) == harness.relay.stats["dropped"]
+        # The precise reasons stay authoritative alongside the buckets.
+        assert harness.relay.stats["s1-bad-chain-element"] == 1
+        assert harness.relay.stats["s2-unknown-exchange"] == 1
+
+    def test_honest_traffic_has_an_empty_breakdown(self, sha1, rng):
+        harness = Harness(sha1, rng)
+        delivered, decisions = harness.run_exchange([b"clean"])
+        assert delivered == [b"clean"]
+        assert harness.relay.drop_breakdown() == {}
+
+    def test_obs_counters_mirror_the_stats(self, sha1, rng):
+        from repro.core.packets import S1Packet
+        from repro.obs import Observability
+
+        obs = Observability()
+        harness = Harness(sha1, rng, obs=obs)
+        forged = S1Packet(ASSOC, 1, Mode.BASE, 63, b"\x00" * H, [b"\x01" * H], 1)
+        harness.s_to_v(forged.encode())
+        harness.s_to_v(forged.encode())
+        counter = obs.registry.counter("relay.dropped.forged")
+        assert counter.value == 2
+        assert harness.relay.stats["dropped.forged"] == 2
+
+    def test_every_categorised_reason_is_a_known_bucket(self):
+        from repro.core.relay import DROP_CATEGORIES
+
+        assert set(DROP_CATEGORIES.values()) <= {
+            "forged", "tampered", "replayed", "reordered", "flooded", "malformed",
+        }

@@ -1,0 +1,8 @@
+"""Security tier: exact separation of schemes under active attack.
+
+Every test here pins a deterministic adversarial outcome — where an
+attack is caught (which hop, or the receiver), or that its acceptance
+is a *documented* blind spot. ``scripts/check.sh --security`` runs this
+tier together with the separation-grid smoke and the attacker-acceptance
+gate in ``scripts/bench_track.py --security-smoke``.
+"""

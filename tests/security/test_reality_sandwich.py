@@ -1,0 +1,138 @@
+"""Reproduce the Reality-Sandwich forgery window against ProMAC.
+
+"Take a Bite of the Reality Sandwich" (arXiv 2103.08560) observes that
+progressive MACs rest immediate acceptance on the *leading fragment*
+alone: ``8 * fragment_bytes`` bits of security, online-brute-forceable.
+With one-byte fragments an attacker needs at most 256 attempts to get a
+forged payload provisionally accepted — and the deception only surfaces
+up to ``window - 1`` packets later, when genuine aggregated fragments
+fail to match the forgery's tag.
+
+This module walks that attack end to end at the verifier, then pins the
+contrast: ALPHA has no provisional state to poison (the grid cell in
+``test_separation_grid`` shows the same corruption dying at hop 1).
+"""
+
+from repro.baselines.promac import (
+    ProMacSigner,
+    ProMacVerifier,
+    forgery_success_probability,
+)
+from repro.core.wire import Writer
+from repro.crypto.hashes import get_hash
+
+WINDOW = 4
+FB = 1  # one-byte fragments: a 256-candidate online search
+
+
+def make_pair():
+    sha1 = get_hash("sha1")
+    signer = ProMacSigner(sha1, b"shared-key", window=WINDOW, fragment_bytes=FB)
+    verifier = ProMacVerifier(sha1, b"shared-key", window=WINDOW, fragment_bytes=FB)
+    return signer, verifier
+
+
+def forged_packet(seq: int, message: bytes, fragment0: bytes) -> bytes:
+    """Attacker-crafted packet: valid framing, guessed leading fragment,
+    no back-fragments (the attacker has no tags to aggregate)."""
+    return Writer().u32(seq).var_bytes(message).raw(fragment0).u8(0).getvalue()
+
+
+def test_probability_model():
+    assert forgery_success_probability(1) == 1 / 256
+    assert forgery_success_probability(2) == 2.0**-16
+
+
+def test_brute_force_displaces_a_genuine_message():
+    """Phase one of the sandwich: the 256-candidate online search.
+
+    Exactly one leading-fragment value gets the forged payload accepted
+    — and because the verifier must arbitrate conflicting payloads for
+    a seq still inside its window, the *genuine* message already handed
+    to the application is retracted in favour of the forgery.
+    """
+    signer, verifier = make_pair()
+    for i in range(3):
+        verifier.handle_packet(signer.protect(b"msg-%d" % i))
+    assert [m for _, m in verifier.accepted] == [b"msg-0", b"msg-1", b"msg-2"]
+
+    evil = b"evil-payload"
+    admitted = [
+        guess
+        for guess in range(256)
+        if verifier.handle_packet(forged_packet(2, evil, bytes([guess]))).accepted
+    ]
+    assert len(admitted) == 1  # the 2^(8*fb) search of the paper
+    assert (2, b"msg-2") in verifier.retracted  # genuine, already consumed
+    assert (2, evil) in verifier.accepted  # forged, now provisional
+
+
+def test_forgery_surfaces_within_the_window():
+    """Phase two: genuine aggregated fragments convict the forgery.
+
+    The signer keeps emitting; its back-fragments for seq 2 belong to
+    the *genuine* tag, mismatch the forged partial, and retract it — no
+    later than ``window - 1`` packets after the forged acceptance.
+    """
+    signer, verifier = make_pair()
+    packets = [signer.protect(b"msg-%d" % i) for i in range(8)]
+    for packet in packets[:3]:
+        verifier.handle_packet(packet)
+
+    evil = b"evil-payload"
+    for guess in range(256):
+        if verifier.handle_packet(forged_packet(2, evil, bytes([guess]))).accepted:
+            break
+    assert (2, evil) in verifier.accepted
+
+    convicted_at = None
+    for i in range(3, 8):
+        decision = verifier.handle_packet(packets[i])
+        if 2 in decision.retracted_seqs:
+            convicted_at = i
+            break
+    assert convicted_at is not None, "forgery survived the whole window"
+    assert convicted_at <= 2 + WINDOW - 1
+    assert (2, evil) in verifier.retracted
+    assert verifier.accepted_then_retracted == 2  # genuine victim + forgery
+    # The window is a real gap: the application consumed the forgery
+    # before the scheme could prove it wrong.
+    consumed = [m for _, m in verifier.accepted]
+    finalized = [m for _, m in verifier.finalized]
+    assert evil in consumed and evil not in finalized
+
+
+def test_wrong_guesses_leave_no_state():
+    """Failed candidates are rejected outright: the search is loud
+    (255 rejects at fb=1) but harmless until it hits."""
+    signer, verifier = make_pair()
+    verifier.handle_packet(signer.protect(b"msg-0"))
+    before = len(verifier.accepted)
+    rejected = 0
+    for guess in range(256):
+        decision = verifier.handle_packet(forged_packet(5, b"evil", bytes([guess])))
+        if not decision.accepted:
+            assert decision.reason == "fragment-mismatch"
+            rejected += 1
+    assert rejected == 255
+    assert len(verifier.accepted) == before + 1  # only the one hit landed
+
+
+def test_wider_fragments_close_the_online_window():
+    """At fb=2 the same 256-candidate budget finds nothing: the search
+    space is 2^16. (The defence the paper recommends — more tag bytes
+    per packet — traded against exactly the bandwidth ProMAC saves.)"""
+    sha1 = get_hash("sha1")
+    signer = ProMacSigner(sha1, b"shared-key", window=WINDOW, fragment_bytes=2)
+    verifier = ProMacVerifier(sha1, b"shared-key", window=WINDOW, fragment_bytes=2)
+    for i in range(3):
+        verifier.handle_packet(signer.protect(b"msg-%d" % i))
+    hits = [
+        guess
+        for guess in range(256)
+        if verifier.handle_packet(
+            forged_packet(2, b"evil", bytes([guess, 0x5A]))
+        ).accepted
+    ]
+    assert hits == []
+    assert (2, b"msg-2") not in verifier.retracted
